@@ -1,0 +1,31 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables/figures at a
+reduced scale (see DESIGN.md §2: CPU substrate ⇒ shape, not absolute
+numbers), prints the same rows/series the paper reports, and asserts
+the qualitative claims.  Markdown copies of every regenerated artifact
+are saved under ``benchmarks/results/``.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_markdown(results_dir: str, name: str, content: str) -> None:
+    """Persist a regenerated table/figure as markdown."""
+    path = os.path.join(results_dir, f"{name}.md")
+    with open(path, "w") as handle:
+        handle.write(content + "\n")

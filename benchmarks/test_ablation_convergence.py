@@ -1,0 +1,49 @@
+"""E-A4 — convergence-speed study (extension).
+
+The paper observes that pre-training "can warm-up the following
+procedure" — the BPR-pretrained SASRec "converges more quickly at the
+fine-tuning step than SASRec".  This bench measures per-epoch
+validation HR@10 for a cold start, a BPR warm start, and a contrastive
+warm start, and the epochs each needs to reach 90% of the cold start's
+final score.
+
+Asserted: both warm starts reach the bar no later than the cold start.
+"""
+
+from benchmarks.conftest import save_markdown
+from repro.experiments.config import ExperimentScale
+from repro.experiments.convergence import run_convergence
+
+SCALE = ExperimentScale(
+    dataset_scale=0.04,
+    dim=40,
+    max_length=25,
+    epochs=8,
+    pretrain_epochs=4,
+    batch_size=128,
+    max_eval_users=700,
+    seed=7,
+)
+
+
+def test_ablation_convergence(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_convergence("beauty", scale=SCALE, bar_fraction=0.9),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.to_markdown())
+    save_markdown(results_dir, "ablation_convergence", result.to_markdown())
+
+    cold = result.epochs_to_bar("SASRec (cold)")
+    warm_bpr = result.epochs_to_bar("SASRec-BPR (warm)")
+    warm_cl = result.epochs_to_bar("CL4SRec (contrastive warm)")
+    print(f"  epochs to bar: cold={cold}  bpr-warm={warm_bpr}  cl-warm={warm_cl}")
+
+    assert cold is not None, "cold start never reached its own 90% bar"
+    for label, warm in (("BPR", warm_bpr), ("contrastive", warm_cl)):
+        assert warm is not None, f"{label} warm start never reached the bar"
+        assert warm <= cold, (
+            f"{label} warm start needed {warm} epochs vs cold's {cold} — "
+            "pre-training did not warm up fine-tuning"
+        )

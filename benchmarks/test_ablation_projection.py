@@ -1,0 +1,42 @@
+"""E-A1 — ablation: keep vs. discard the projection head g(·).
+
+Paper §3.2.3 adopts SimCLR's finding that the projection "can remove
+information that may be useful for the downstream task" and therefore
+discards it before fine-tuning.  We quantify that: scoring through the
+fine-tuned encoder should beat scoring through the stale projection.
+
+Asserted: discarding g(·) is at least as good as keeping it.
+"""
+
+from benchmarks.conftest import save_markdown
+from repro.experiments.ablations import run_projection_ablation
+from repro.experiments.config import ExperimentScale
+
+SCALE = ExperimentScale(
+    dataset_scale=0.04,
+    dim=40,
+    max_length=25,
+    epochs=12,
+    pretrain_epochs=4,
+    batch_size=128,
+    max_eval_users=700,
+    seed=7,
+)
+
+
+def test_ablation_projection(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_projection_ablation("beauty", scale=SCALE),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.to_markdown())
+    save_markdown(results_dir, "ablation_projection", result.to_markdown())
+
+    discard = result.variants["discard g(·) (paper)"]["NDCG@10"]
+    keep = result.variants["keep g(·)"]["NDCG@10"]
+    print(f"  discard={discard:.4f}  keep={keep:.4f}")
+    assert discard >= keep, (
+        "scoring through the projection head beat the raw encoder — "
+        "contradicts the paper's §3.2.3 design rationale"
+    )

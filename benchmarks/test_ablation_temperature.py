@@ -1,0 +1,45 @@
+"""E-A2 — ablation: NT-Xent temperature τ sweep.
+
+The paper lists τ as a hyper-parameter (Eq. 3) without reporting a
+sweep; this extension bench records how sensitive CL4SRec is to it.
+
+Asserted (weak, robustness-style): every temperature still beats the
+no-pretraining baseline would be too strong at this scale, so we assert
+the sweep produces finite, plausible metrics and that the spread across
+temperatures is bounded (no catastrophic divergence).
+"""
+
+from benchmarks.conftest import save_markdown
+from repro.experiments.ablations import run_temperature_ablation
+from repro.experiments.config import ExperimentScale
+
+SCALE = ExperimentScale(
+    dataset_scale=0.04,
+    dim=40,
+    max_length=25,
+    epochs=12,
+    pretrain_epochs=4,
+    batch_size=128,
+    max_eval_users=700,
+    seed=7,
+)
+TEMPERATURES = (0.1, 0.5, 1.0, 2.0)
+
+
+def test_ablation_temperature(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_temperature_ablation(
+            "beauty", temperatures=TEMPERATURES, scale=SCALE
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.to_markdown())
+    save_markdown(results_dir, "ablation_temperature", result.to_markdown())
+
+    values = [result.variants[f"tau={t}"]["NDCG@10"] for t in TEMPERATURES]
+    best_label, best_value = result.best("NDCG@10")
+    print(f"  best: {best_label} (NDCG@10={best_value:.4f})")
+    assert all(0.0 < v <= 1.0 for v in values)
+    # No catastrophic collapse: worst temperature keeps ≥ 50% of best.
+    assert min(values) >= 0.5 * max(values)

@@ -1,0 +1,12 @@
+"""Repo-level pytest configuration.
+
+Makes ``src/`` importable even when the package has not been installed
+(e.g. a fresh checkout without network access for ``pip install -e .``).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,130 @@
+"""repro — a reproduction of CL4SRec (ICDE 2022).
+
+"Contrastive Learning for Sequential Recommendation" — a SASRec-style
+Transformer user-representation encoder trained with an NT-Xent
+contrastive objective over three stochastic sequence augmentations
+(crop / mask / reorder), plus the paper's complete baseline suite,
+data pipeline, full-ranking evaluation protocol and experiment harness.
+
+Quickstart
+----------
+>>> from repro import CL4SRec, CL4SRecConfig, evaluate_model, load_dataset
+>>> dataset = load_dataset("beauty", scale=0.02, seed=0)
+>>> model = CL4SRec(dataset, CL4SRecConfig(augmentations=("mask",), rates=0.5))
+>>> model.fit(dataset, epochs=2)  # doctest: +SKIP
+>>> evaluate_model(model, dataset).metrics  # doctest: +SKIP
+"""
+
+from repro.augment import (
+    Compose,
+    Crop,
+    Identity,
+    Insert,
+    ItemCorrelation,
+    Mask,
+    PairSampler,
+    Reorder,
+    Substitute,
+)
+from repro.core import (
+    CL4SRec,
+    CL4SRecConfig,
+    ContrastivePretrainConfig,
+    JointTrainConfig,
+    MoCoCL4SRec,
+    MoCoConfig,
+    ProjectionHead,
+    info_nce_loss,
+    nt_xent,
+    pretrain_contrastive,
+    train_joint,
+)
+from repro.data import (
+    DATASETS,
+    InteractionLog,
+    SequenceDataset,
+    SyntheticConfig,
+    dataset_names,
+    dataset_report,
+    five_core_filter,
+    generate_log,
+    load_dataset,
+    read_csv_log,
+    read_jsonl_log,
+    temporal_split,
+)
+from repro.eval import (
+    EvaluationResult,
+    Evaluator,
+    evaluate_model,
+    ranking_metrics,
+    recommendation_diagnostics,
+)
+from repro.models import (
+    BERT4Rec,
+    BPRMF,
+    Caser,
+    FPMC,
+    GRU4Rec,
+    NCF,
+    Pop,
+    Recommender,
+    SASRec,
+    SASRecBPR,
+    SASRecConfig,
+    TrainConfig,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BERT4Rec",
+    "BPRMF",
+    "CL4SRec",
+    "CL4SRecConfig",
+    "Caser",
+    "Compose",
+    "ContrastivePretrainConfig",
+    "Crop",
+    "DATASETS",
+    "EvaluationResult",
+    "Evaluator",
+    "FPMC",
+    "GRU4Rec",
+    "Identity",
+    "Insert",
+    "InteractionLog",
+    "ItemCorrelation",
+    "JointTrainConfig",
+    "Mask",
+    "MoCoCL4SRec",
+    "MoCoConfig",
+    "NCF",
+    "PairSampler",
+    "Pop",
+    "ProjectionHead",
+    "Recommender",
+    "Reorder",
+    "SASRec",
+    "SASRecBPR",
+    "SASRecConfig",
+    "SequenceDataset",
+    "Substitute",
+    "SyntheticConfig",
+    "TrainConfig",
+    "dataset_names",
+    "dataset_report",
+    "evaluate_model",
+    "five_core_filter",
+    "generate_log",
+    "info_nce_loss",
+    "load_dataset",
+    "nt_xent",
+    "pretrain_contrastive",
+    "ranking_metrics",
+    "read_csv_log",
+    "read_jsonl_log",
+    "recommendation_diagnostics",
+    "temporal_split",
+    "train_joint",
+]

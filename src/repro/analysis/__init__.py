@@ -1,0 +1,41 @@
+"""Representation-quality analysis tools.
+
+Standard diagnostics from the contrastive-learning literature, used to
+*explain* why CL4SRec's pre-training helps:
+
+* :func:`alignment` / :func:`uniformity` — Wang & Isola (2020) metrics
+  on the hypersphere: good contrastive representations place positive
+  pairs close (low alignment loss) while spreading all representations
+  out (low uniformity loss).
+* :func:`embedding_statistics` — norms/anisotropy of the item table.
+* :class:`ConvergenceTracker` — per-epoch validation curves, used to
+  verify the paper's observation that pre-training warms up (speeds up)
+  fine-tuning convergence.
+* :mod:`repro.analysis.attention_probe` — attention-map extraction,
+  recency profiles and attention entropy for interpreting what the
+  encoder's user representation attends to.
+"""
+
+from repro.analysis.attention_probe import (
+    attention_entropy,
+    attention_maps,
+    recency_profile,
+)
+from repro.analysis.representation import (
+    ConvergenceTracker,
+    alignment,
+    embedding_statistics,
+    representation_quality,
+    uniformity,
+)
+
+__all__ = [
+    "ConvergenceTracker",
+    "alignment",
+    "attention_entropy",
+    "attention_maps",
+    "embedding_statistics",
+    "recency_profile",
+    "representation_quality",
+    "uniformity",
+]

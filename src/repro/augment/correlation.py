@@ -1,0 +1,112 @@
+"""Item-to-item correlation from co-occurrence statistics.
+
+The informative augmentations in :mod:`repro.augment.extended`
+(substitute / insert, the direction CL4SRec's future-work section
+spawned — CoSeRec, Liu et al. 2021) need a notion of "similar item".
+This module computes it from the training sequences alone: items that
+co-occur within a sliding window are correlated, scored by a
+normalized pointwise co-occurrence weight.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+from scipy import sparse
+
+
+class ItemCorrelation:
+    """Top-k most-correlated items per item, from co-occurrence counts.
+
+    Parameters
+    ----------
+    num_items:
+        Vocabulary size (item ids ``1..num_items``).
+    window:
+        Co-occurrence window: items at distance ≤ ``window`` inside a
+        sequence count as co-occurring.
+    top_k:
+        How many neighbours to keep per item.
+    """
+
+    def __init__(self, num_items: int, window: int = 3, top_k: int = 10) -> None:
+        if num_items < 1:
+            raise ValueError("num_items must be positive")
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        if top_k < 1:
+            raise ValueError("top_k must be at least 1")
+        self.num_items = num_items
+        self.window = window
+        self.top_k = top_k
+        self._neighbours: np.ndarray | None = None
+        self._weights: np.ndarray | None = None
+
+    def fit(self, sequences: Sequence[np.ndarray]) -> "ItemCorrelation":
+        """Count windowed co-occurrences and keep the top-k per item."""
+        rows: list[int] = []
+        cols: list[int] = []
+        for sequence in sequences:
+            sequence = np.asarray(sequence)
+            n = len(sequence)
+            for offset in range(1, min(self.window, n - 1) + 1 if n > 1 else 0):
+                left = sequence[:-offset]
+                right = sequence[offset:]
+                rows.extend(left.tolist())
+                cols.extend(right.tolist())
+        size = self.num_items + 1  # id 0 = padding, never correlated
+        if rows:
+            data = np.ones(len(rows) * 2, dtype=np.float64)
+            matrix = sparse.coo_matrix(
+                (data, (rows + cols, cols + rows)), shape=(size, size)
+            ).tocsr()
+        else:
+            matrix = sparse.csr_matrix((size, size))
+        matrix.setdiag(0.0)
+
+        # Normalize: c(i,j) / sqrt(c(i)·c(j)) — a cosine-style weight
+        # that stops blockbuster items from dominating every list.
+        totals = np.asarray(matrix.sum(axis=1)).ravel()
+        scale = 1.0 / np.sqrt(np.maximum(totals, 1.0))
+
+        neighbours = np.zeros((size, self.top_k), dtype=np.int64)
+        weights = np.zeros((size, self.top_k), dtype=np.float64)
+        for item in range(1, size):
+            start, stop = matrix.indptr[item], matrix.indptr[item + 1]
+            if start == stop:
+                continue
+            candidates = matrix.indices[start:stop]
+            counts = matrix.data[start:stop]
+            # setdiag leaves explicit zero entries behind — drop them
+            # (and any other zero-count candidate, incl. padding id 0).
+            positive = (counts > 0) & (candidates != item) & (candidates != 0)
+            if not positive.any():
+                continue
+            candidates = candidates[positive]
+            counts = counts[positive]
+            scores = counts * scale[item] * scale[candidates]
+            order = np.argsort(scores)[::-1][: self.top_k]
+            neighbours[item, : len(order)] = candidates[order]
+            weights[item, : len(order)] = scores[order]
+        self._neighbours = neighbours
+        self._weights = weights
+        return self
+
+    def most_similar(self, item: int) -> tuple[np.ndarray, np.ndarray]:
+        """Neighbour ids and weights for ``item`` (zeros = no neighbour)."""
+        if self._neighbours is None:
+            raise RuntimeError("ItemCorrelation.fit must be called first")
+        if not 1 <= item <= self.num_items:
+            raise IndexError(f"item id {item} outside 1..{self.num_items}")
+        return self._neighbours[item], self._weights[item]
+
+    def sample_similar(self, item: int, rng: np.random.Generator) -> int:
+        """Sample one correlated item (weight-proportional); falls back
+        to the item itself when it has no neighbours."""
+        neighbours, weights = self.most_similar(item)
+        valid = (neighbours > 0) & (weights > 0)
+        if not valid.any():
+            return int(item)
+        probs = weights[valid] / weights[valid].sum()
+        return int(rng.choice(neighbours[valid], p=probs))

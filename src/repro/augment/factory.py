@@ -1,0 +1,53 @@
+"""Build augmentation operators from names + proportion rates.
+
+Used by configs and the experiment harness, which refer to operators by
+the paper's names: ``"crop"`` (rate η), ``"mask"`` (rate γ),
+``"reorder"`` (rate β).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.augment.base import Augmentation, Identity
+from repro.augment.crop import Crop
+from repro.augment.mask import Mask
+from repro.augment.reorder import Reorder
+
+OPERATOR_NAMES = ("crop", "mask", "reorder")
+
+
+def make_operator(name: str, rate: float, mask_token: int = 1) -> Augmentation:
+    """Instantiate a single operator by paper name.
+
+    ``mask_token`` is only used by ``"mask"`` — pass
+    ``dataset.mask_token``.
+    """
+    name = name.lower()
+    if name == "crop":
+        return Crop(eta=rate)
+    if name == "mask":
+        return Mask(gamma=rate, mask_token=mask_token)
+    if name == "reorder":
+        return Reorder(beta=rate)
+    if name == "identity":
+        return Identity()
+    raise ValueError(f"unknown augmentation '{name}'; expected one of {OPERATOR_NAMES}")
+
+
+def make_operator_set(
+    names: Sequence[str],
+    rates: Sequence[float] | float,
+    mask_token: int = 1,
+) -> list[Augmentation]:
+    """Instantiate several operators; ``rates`` may be shared or per-name."""
+    if isinstance(rates, (int, float)):
+        rates = [float(rates)] * len(names)
+    if len(rates) != len(names):
+        raise ValueError(
+            f"got {len(names)} operator names but {len(rates)} rates"
+        )
+    return [
+        make_operator(name, rate, mask_token=mask_token)
+        for name, rate in zip(names, rates)
+    ]

@@ -1,0 +1,197 @@
+"""Command-line interface: regenerate any paper artifact from a shell.
+
+Examples::
+
+    python -m repro table1
+    python -m repro table2 --datasets beauty toys --preset smoke
+    python -m repro figure4 --dataset yelp --rates 0.1 0.5 0.9
+    python -m repro figure6 --dataset beauty --output fig6.md
+    python -m repro ablation --which temperature
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from repro.experiments.ablations import (
+    run_joint_vs_pretrain,
+    run_projection_ablation,
+    run_temperature_ablation,
+)
+from repro.experiments.config import BENCH_SCALE, FULL_SCALE, SMOKE_SCALE, ExperimentScale
+from repro.experiments.convergence import run_convergence
+from repro.experiments.figure4 import PAPER_RATE_GRID, run_figure4
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import PAPER_FRACTIONS, run_figure6
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+
+PRESETS = {"smoke": SMOKE_SCALE, "bench": BENCH_SCALE, "full": FULL_SCALE}
+
+
+def _scale_from_args(args: argparse.Namespace) -> ExperimentScale:
+    scale = PRESETS[args.preset]
+    overrides = {}
+    for field in ("dataset_scale", "dim", "max_length", "epochs", "pretrain_epochs", "seed"):
+        value = getattr(args, field, None)
+        if value is not None:
+            overrides[field] = value
+    return scale.with_overrides(**overrides) if overrides else scale
+
+
+def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--preset",
+        choices=sorted(PRESETS),
+        default="smoke",
+        help="scale preset (default: smoke)",
+    )
+    parser.add_argument("--dataset-scale", dest="dataset_scale", type=float)
+    parser.add_argument("--dim", type=int)
+    parser.add_argument("--max-length", dest="max_length", type=int)
+    parser.add_argument("--epochs", type=int)
+    parser.add_argument("--pretrain-epochs", dest="pretrain_epochs", type=int)
+    parser.add_argument("--seed", type=int)
+    parser.add_argument("--output", help="also write the markdown to this file")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CL4SRec reproduction — regenerate the paper's tables and figures",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_t1 = sub.add_parser("table1", help="dataset statistics (Table 1)")
+    p_t1.add_argument("--scale", type=float, default=1.0)
+    p_t1.add_argument("--seed", type=int, default=0)
+    p_t1.add_argument("--output")
+
+    p_t2 = sub.add_parser("table2", help="overall comparison (Table 2)")
+    p_t2.add_argument(
+        "--datasets", nargs="+", default=["beauty", "sports", "toys", "yelp"]
+    )
+    p_t2.add_argument(
+        "--models",
+        nargs="+",
+        default=None,
+        help="subset of methods (default: all seven)",
+    )
+    _add_scale_arguments(p_t2)
+
+    p_f4 = sub.add_parser("figure4", help="augmentation sweep (Figure 4)")
+    p_f4.add_argument("--dataset", default="beauty")
+    p_f4.add_argument("--rates", nargs="+", type=float, default=list(PAPER_RATE_GRID))
+    p_f4.add_argument(
+        "--operators", nargs="+", default=["crop", "mask", "reorder"]
+    )
+    _add_scale_arguments(p_f4)
+
+    p_f5 = sub.add_parser("figure5", help="composition study (Figure 5)")
+    p_f5.add_argument("--dataset", default="beauty")
+    _add_scale_arguments(p_f5)
+
+    p_f6 = sub.add_parser("figure6", help="data sparsity (Figure 6)")
+    p_f6.add_argument("--dataset", default="beauty")
+    p_f6.add_argument(
+        "--fractions", nargs="+", type=float, default=list(PAPER_FRACTIONS)
+    )
+    p_f6.add_argument("--gamma", type=float, default=0.5)
+    _add_scale_arguments(p_f6)
+
+    p_ab = sub.add_parser("ablation", help="extension ablations (E-A1..E-A3)")
+    p_ab.add_argument(
+        "--which",
+        choices=["projection", "temperature", "joint"],
+        default="projection",
+    )
+    p_ab.add_argument("--dataset", default="beauty")
+    _add_scale_arguments(p_ab)
+
+    p_cv = sub.add_parser(
+        "convergence", help="warm-start convergence study (E-A4)"
+    )
+    p_cv.add_argument("--dataset", default="beauty")
+    p_cv.add_argument("--bar-fraction", dest="bar_fraction", type=float, default=0.9)
+    _add_scale_arguments(p_cv)
+
+    p_rp = sub.add_parser(
+        "report", help="stitch benchmarks/results/*.md into one report"
+    )
+    p_rp.add_argument(
+        "--results-dir",
+        dest="results_dir",
+        default=os.path.join("benchmarks", "results"),
+    )
+    p_rp.add_argument("--output", default="REPORT.md")
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    started = time.time()
+
+    if args.command == "table1":
+        result = run_table1(scale=args.scale, seed=args.seed)
+    elif args.command == "table2":
+        kwargs = {"datasets": tuple(args.datasets), "scale": _scale_from_args(args)}
+        if args.models:
+            kwargs["models"] = tuple(args.models)
+        result = run_table2(**kwargs)
+    elif args.command == "figure4":
+        result = run_figure4(
+            dataset_name=args.dataset,
+            operators=tuple(args.operators),
+            rates=tuple(args.rates),
+            scale=_scale_from_args(args),
+        )
+    elif args.command == "figure5":
+        result = run_figure5(dataset_name=args.dataset, scale=_scale_from_args(args))
+    elif args.command == "figure6":
+        result = run_figure6(
+            dataset_name=args.dataset,
+            fractions=tuple(args.fractions),
+            scale=_scale_from_args(args),
+            gamma=args.gamma,
+        )
+    elif args.command == "ablation":
+        runner = {
+            "projection": run_projection_ablation,
+            "temperature": run_temperature_ablation,
+            "joint": run_joint_vs_pretrain,
+        }[args.which]
+        result = runner(args.dataset, scale=_scale_from_args(args))
+    elif args.command == "convergence":
+        result = run_convergence(
+            args.dataset,
+            scale=_scale_from_args(args),
+            bar_fraction=args.bar_fraction,
+        )
+    elif args.command == "report":
+        from repro.experiments.report import build_report
+
+        report = build_report(args.results_dir)
+        report.write(args.output)
+        print(f"wrote {args.output} ({len(report.included)} artifacts)")
+        if report.missing:
+            print(f"missing: {', '.join(report.missing)}")
+        return 0
+    else:  # pragma: no cover - argparse enforces choices
+        raise SystemExit(2)
+
+    markdown = result.to_markdown()
+    print(markdown)
+    print(f"\n(completed in {time.time() - started:.1f}s)")
+    if getattr(args, "output", None):
+        with open(args.output, "w") as handle:
+            handle.write(markdown + "\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

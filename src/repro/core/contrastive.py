@@ -1,0 +1,79 @@
+"""NT-Xent contrastive loss (paper §3.2.4, Eq. 3).
+
+Given a mini-batch of N users, two augmented views per user yield 2N
+representations.  For each positive pair ``(z_a[i], z_b[i])`` the other
+``2(N-1)`` representations in the batch act as negatives; similarity is
+cosine (achieved by L2-normalizing before a dot product) scaled by a
+temperature ``τ``, and the loss is the softmax cross entropy of picking
+the positive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor, concat
+
+_NEG_INF = -1e9
+
+
+def nt_xent(z_a: Tensor, z_b: Tensor, temperature: float = 1.0) -> Tensor:
+    """Normalized-temperature cross entropy over a batch of view pairs.
+
+    Parameters
+    ----------
+    z_a, z_b:
+        Projected representations of the two views, shape ``(N, d)``,
+        row ``i`` of both belonging to the same user.
+    temperature:
+        Softmax temperature ``τ`` (paper hyper-parameter).
+
+    Returns
+    -------
+    Scalar loss tensor, averaged over all 2N anchor views (both
+    directions of every pair), exactly as in SimCLR.
+    """
+    if temperature <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature}")
+    if z_a.shape != z_b.shape:
+        raise ValueError(f"view shapes differ: {z_a.shape} vs {z_b.shape}")
+    n = z_a.shape[0]
+    if n < 2:
+        raise ValueError("nt_xent needs at least 2 pairs for in-batch negatives")
+
+    z = concat([z_a, z_b], axis=0)  # (2N, d)
+    z = F.l2_normalize(z, axis=-1)
+    similarity = z.matmul(z.transpose()) * (1.0 / temperature)  # (2N, 2N)
+
+    # Self-similarity is never a candidate.
+    diagonal = np.eye(2 * n, dtype=bool)
+    similarity = similarity.masked_fill(diagonal, _NEG_INF)
+
+    # Positive of anchor i is i+N (and vice versa).
+    positives = np.concatenate([np.arange(n) + n, np.arange(n)])
+    log_probs = F.log_softmax(similarity, axis=-1)
+    picked = log_probs[np.arange(2 * n), positives]
+    return -picked.mean()
+
+
+def info_nce_loss(
+    z_a: Tensor, z_b: Tensor, temperature: float = 1.0
+) -> tuple[Tensor, float]:
+    """NT-Xent plus the in-batch retrieval accuracy (for monitoring).
+
+    The accuracy is the fraction of anchors whose most-similar other
+    view is their own positive — a useful, cheap progress signal for
+    the pre-training stage.
+    """
+    loss = nt_xent(z_a, z_b, temperature=temperature)
+    a = z_a.data / np.linalg.norm(z_a.data, axis=-1, keepdims=True).clip(1e-12)
+    b = z_b.data / np.linalg.norm(z_b.data, axis=-1, keepdims=True).clip(1e-12)
+    n = a.shape[0]
+    z = np.concatenate([a, b], axis=0)
+    sim = z @ z.T
+    np.fill_diagonal(sim, -np.inf)
+    predicted = sim.argmax(axis=-1)
+    positives = np.concatenate([np.arange(n) + n, np.arange(n)])
+    accuracy = float((predicted == positives).mean())
+    return loss, accuracy

@@ -1,0 +1,33 @@
+"""Auxiliary projection module ``g(·)`` (paper §3.2.3).
+
+A single linear transformation mapping the user representation into
+the space where the contrastive loss is applied.  Following SimCLR's
+observation that the projection discards information useful downstream,
+CL4SRec throws the projection away after pre-training and fine-tunes
+only the encoder ``f(·)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+
+class ProjectionHead(Module):
+    """Linear projection used only during contrastive training."""
+
+    def __init__(
+        self,
+        dim: int,
+        projection_dim: int | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        projection_dim = projection_dim if projection_dim is not None else dim
+        self.linear = Linear(dim, projection_dim, rng=rng)
+
+    def forward(self, representation: Tensor) -> Tensor:
+        return self.linear(representation)

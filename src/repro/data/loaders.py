@@ -1,0 +1,272 @@
+"""Batching, padding and negative sampling for sequence training.
+
+Sequences are **left-padded** to the maximum length ``T`` so that the
+most recent item always sits at the last position — the position whose
+hidden state is the user representation (paper Eq. 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.data.preprocessing import SequenceDataset
+
+
+def pad_left(sequence: np.ndarray, length: int, pad_value: int = 0) -> np.ndarray:
+    """Left-pad (or left-truncate) ``sequence`` to exactly ``length``.
+
+    Truncation keeps the *last* ``length`` items, per paper Eq. (7).
+    """
+    sequence = np.asarray(sequence, dtype=np.int64)
+    if len(sequence) >= length:
+        return sequence[-length:]
+    out = np.full(length, pad_value, dtype=np.int64)
+    if len(sequence):
+        out[-len(sequence) :] = sequence
+    return out
+
+
+class NegativeSampler:
+    """Uniform negative sampling over the item vocabulary.
+
+    Draws ids in ``1..num_items`` that avoid a per-row forbidden item
+    (the positive).  Collisions are re-drawn; with vocabularies in the
+    thousands a couple of rounds suffice.
+    """
+
+    def __init__(self, num_items: int, rng: np.random.Generator) -> None:
+        if num_items < 2:
+            raise ValueError("need at least 2 items to sample negatives")
+        self.num_items = num_items
+        self._rng = rng
+
+    def _draw(self, count: int) -> np.ndarray:
+        return self._rng.integers(1, self.num_items + 1, size=count)
+
+    def sample(self, positives: np.ndarray) -> np.ndarray:
+        """Return one negative per entry of ``positives`` (same shape)."""
+        positives = np.asarray(positives)
+        negatives = self._draw(positives.size).reshape(positives.shape)
+        for __ in range(100):
+            clash = negatives == positives
+            if not clash.any():
+                break
+            negatives[clash] = self._draw(int(clash.sum()))
+        # Extremely skewed sampling distributions (e.g. popularity
+        # weighting where the positive IS the blockbuster) can exhaust
+        # the redraw budget; shift the survivors deterministically.
+        clash = negatives == positives
+        if clash.any():
+            negatives[clash] = negatives[clash] % self.num_items + 1
+        return negatives
+
+
+class PopularityNegativeSampler(NegativeSampler):
+    """Popularity-weighted negative sampling.
+
+    Draws negatives proportionally to ``count(item)^alpha`` (word2vec's
+    classic 0.75 by default).  Harder negatives than uniform: popular
+    items the user *didn't* choose are more informative contrasts.
+
+    Parameters
+    ----------
+    item_counts:
+        Training interaction count per item id, length
+        ``num_items + 1`` (index 0 = padding, ignored).
+    alpha:
+        Popularity exponent; 0 recovers uniform sampling.
+    smoothing:
+        Added to every count so unseen items stay sampleable.
+    """
+
+    def __init__(
+        self,
+        item_counts: np.ndarray,
+        rng: np.random.Generator,
+        alpha: float = 0.75,
+        smoothing: float = 1.0,
+    ) -> None:
+        item_counts = np.asarray(item_counts, dtype=np.float64)
+        if item_counts.ndim != 1 or len(item_counts) < 3:
+            raise ValueError(
+                "item_counts must be 1-D of length num_items + 1 (>= 3)"
+            )
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        super().__init__(len(item_counts) - 1, rng)
+        weights = (item_counts[1:] + smoothing) ** alpha
+        self._cumulative = np.cumsum(weights / weights.sum())
+        self.alpha = alpha
+
+    @classmethod
+    def from_sequences(
+        cls,
+        sequences,
+        num_items: int,
+        rng: np.random.Generator,
+        alpha: float = 0.75,
+    ) -> "PopularityNegativeSampler":
+        """Build from training sequences (counts computed here)."""
+        counts = np.zeros(num_items + 1, dtype=np.float64)
+        for sequence in sequences:
+            np.add.at(counts, np.asarray(sequence), 1.0)
+        return cls(counts, rng, alpha=alpha)
+
+    def _draw(self, count: int) -> np.ndarray:
+        draws = self._rng.random(count)
+        return np.searchsorted(self._cumulative, draws) + 1
+
+
+@dataclass
+class NextItemBatch:
+    """One supervised next-item training batch.
+
+    ``inputs[b, t]`` is the item at step *t* (0 = padding), ``targets``
+    the item at step *t+1*, ``negatives`` a sampled non-interacted item,
+    and ``mask`` is 1.0 where a real prediction exists.
+    """
+
+    users: np.ndarray
+    inputs: np.ndarray
+    targets: np.ndarray
+    negatives: np.ndarray
+    mask: np.ndarray
+
+
+class NextItemBatchLoader:
+    """Yields shuffled :class:`NextItemBatch` epochs from a dataset."""
+
+    def __init__(
+        self,
+        dataset: SequenceDataset,
+        max_length: int,
+        batch_size: int,
+        rng: np.random.Generator,
+        min_sequence_length: int = 2,
+        negative_sampler: NegativeSampler | None = None,
+    ) -> None:
+        self.dataset = dataset
+        self.max_length = max_length
+        self.batch_size = batch_size
+        self._rng = rng
+        self._sampler = (
+            negative_sampler
+            if negative_sampler is not None
+            else NegativeSampler(dataset.num_items, rng)
+        )
+        self._users = np.asarray(
+            [
+                u
+                for u, seq in enumerate(dataset.train_sequences)
+                if len(seq) >= min_sequence_length
+            ],
+            dtype=np.int64,
+        )
+        if len(self._users) == 0:
+            raise ValueError("no user has a long enough training sequence")
+
+    @property
+    def num_batches(self) -> int:
+        return int(np.ceil(len(self._users) / self.batch_size))
+
+    def epoch(self) -> Iterator[NextItemBatch]:
+        """One pass over all eligible users, shuffled."""
+        order = self._rng.permutation(self._users)
+        for start in range(0, len(order), self.batch_size):
+            yield self._build(order[start : start + self.batch_size])
+
+    def _build(self, users: np.ndarray) -> NextItemBatch:
+        t = self.max_length
+        inputs = np.zeros((len(users), t), dtype=np.int64)
+        targets = np.zeros((len(users), t), dtype=np.int64)
+        for row, user in enumerate(users):
+            seq = self.dataset.train_sequences[user]
+            inputs[row] = pad_left(seq[:-1], t)
+            targets[row] = pad_left(seq[1:], t)
+        mask = (targets > 0).astype(np.float64)
+        negatives = self._sampler.sample(targets)
+        negatives[mask == 0.0] = 1  # placeholder at padded positions
+        return NextItemBatch(users, inputs, targets, negatives, mask)
+
+
+@dataclass
+class ContrastiveBatch:
+    """Two augmented views per user, left-padded (paper §3.2.1)."""
+
+    users: np.ndarray
+    view_a: np.ndarray
+    view_b: np.ndarray
+
+
+class ContrastiveBatchLoader:
+    """Yields :class:`ContrastiveBatch` epochs from augmented sequences.
+
+    ``augmenter`` is any callable ``(sequence, rng) -> (view_a, view_b)``
+    — typically :class:`repro.augment.compose.PairSampler`.
+    """
+
+    def __init__(
+        self,
+        dataset: SequenceDataset,
+        augmenter,
+        max_length: int,
+        batch_size: int,
+        rng: np.random.Generator,
+        min_sequence_length: int = 3,
+    ) -> None:
+        self.dataset = dataset
+        self.augmenter = augmenter
+        self.max_length = max_length
+        self.batch_size = batch_size
+        self._rng = rng
+        self._users = np.asarray(
+            [
+                u
+                for u, seq in enumerate(dataset.train_sequences)
+                if len(seq) >= min_sequence_length
+            ],
+            dtype=np.int64,
+        )
+        if len(self._users) == 0:
+            raise ValueError("no user has a long enough training sequence")
+
+    @property
+    def num_batches(self) -> int:
+        return int(np.ceil(len(self._users) / self.batch_size))
+
+    def epoch(self) -> Iterator[ContrastiveBatch]:
+        """One shuffled pass; each user contributes one positive pair."""
+        order = self._rng.permutation(self._users)
+        for start in range(0, len(order), self.batch_size):
+            users = order[start : start + self.batch_size]
+            if len(users) < 2:
+                continue  # a contrastive batch needs at least one negative
+            yield self._build(users)
+
+    def _build(self, users: np.ndarray) -> ContrastiveBatch:
+        t = self.max_length
+        view_a = np.zeros((len(users), t), dtype=np.int64)
+        view_b = np.zeros((len(users), t), dtype=np.int64)
+        for row, user in enumerate(users):
+            seq = self.dataset.train_sequences[user][-t:]
+            a, b = self.augmenter(seq, self._rng)
+            view_a[row] = pad_left(a, t)
+            view_b[row] = pad_left(b, t)
+        return ContrastiveBatch(users, view_a, view_b)
+
+
+def batch_sequences(
+    sequences: Sequence[np.ndarray], max_length: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Left-pad a list of sequences into a dense batch.
+
+    Returns the padded integer matrix and a boolean padding mask
+    (``True`` where the position is padding).
+    """
+    batch = np.zeros((len(sequences), max_length), dtype=np.int64)
+    for row, seq in enumerate(sequences):
+        batch[row] = pad_left(seq, max_length)
+    return batch, batch == 0

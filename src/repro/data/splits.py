@@ -1,0 +1,96 @@
+"""Alternative evaluation splits (extension).
+
+The paper — like most sequential-recommendation work — uses per-user
+leave-one-out splits (:func:`repro.data.preprocessing.leave_one_out_split`).
+Leave-one-out leaks future *global* information into training (user A's
+training items may postdate user B's test item), so production teams
+often prefer a **global temporal split**: pick cutoff timestamps, train
+on everything before, evaluate on what comes after.  This module
+provides that protocol on raw :class:`InteractionLog` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.log import InteractionLog
+
+
+@dataclass
+class TemporalSplit:
+    """A train/valid/test partition of one log by global time."""
+
+    train: InteractionLog
+    valid: InteractionLog
+    test: InteractionLog
+    valid_cutoff: float
+    test_cutoff: float
+
+
+def temporal_split(
+    log: InteractionLog,
+    valid_fraction: float = 0.1,
+    test_fraction: float = 0.1,
+) -> TemporalSplit:
+    """Split a log at global time quantiles.
+
+    The earliest ``1 - valid_fraction - test_fraction`` of interactions
+    (by timestamp) become training data, the next ``valid_fraction``
+    validation, the rest test.
+
+    Raises on degenerate fractions or an empty log.
+    """
+    if len(log) == 0:
+        raise ValueError("cannot split an empty log")
+    if valid_fraction < 0 or test_fraction < 0:
+        raise ValueError("fractions must be non-negative")
+    if valid_fraction + test_fraction >= 1.0:
+        raise ValueError("train fraction would be empty")
+
+    train_quantile = 1.0 - valid_fraction - test_fraction
+    valid_cutoff = float(np.quantile(log.timestamps, train_quantile))
+    test_cutoff = float(np.quantile(log.timestamps, train_quantile + valid_fraction))
+
+    train_mask = log.timestamps <= valid_cutoff
+    valid_mask = (log.timestamps > valid_cutoff) & (log.timestamps <= test_cutoff)
+    test_mask = log.timestamps > test_cutoff
+    return TemporalSplit(
+        train=log.select(train_mask),
+        valid=log.select(valid_mask),
+        test=log.select(test_mask),
+        valid_cutoff=valid_cutoff,
+        test_cutoff=test_cutoff,
+    )
+
+
+def next_item_events(
+    history: InteractionLog, future: InteractionLog
+) -> list[tuple[int, np.ndarray, int]]:
+    """Pair each future interaction with the user's history before it.
+
+    Returns ``(user, history_items, target_item)`` tuples — the
+    temporal-split analogue of leave-one-out evaluation rows.  Users
+    with no history are skipped (cold start is a separate problem).
+    Only each user's *first* future interaction is used, so one user
+    contributes one evaluation event (mirroring leave-one-out).
+    """
+    events: list[tuple[int, np.ndarray, int]] = []
+    order = np.argsort(future.timestamps, kind="stable")
+    seen_users: set[int] = set()
+    for index in order:
+        user = int(future.user_ids[index])
+        if user in seen_users:
+            continue
+        seen_users.add(user)
+        mask = history.user_ids == user
+        if not mask.any():
+            continue
+        user_times = history.timestamps[mask]
+        user_items = history.item_ids[mask]
+        chronological = np.argsort(user_times, kind="stable")
+        events.append(
+            (user, user_items[chronological], int(future.item_ids[index]))
+        )
+    return events

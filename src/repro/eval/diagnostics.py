@@ -1,0 +1,108 @@
+"""Beyond-accuracy diagnostics for recommendation lists.
+
+Accuracy metrics (HR/NDCG) say nothing about *what* a recommender
+shows.  These diagnostics quantify two classic failure modes of
+popularity-skewed implicit feedback:
+
+* **catalog coverage@k** — the fraction of the catalogue that appears
+  in at least one user's top-k list (low = the model only ever
+  recommends blockbusters).
+* **popularity bias@k** — the mean training popularity of recommended
+  items, normalized by the catalogue mean (1.0 = popularity-neutral,
+  ≫1 = blockbuster-heavy).
+* **intra-list Gini@k** — concentration of recommendation exposure
+  across items (0 = perfectly even exposure, 1 = all exposure on one
+  item).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.preprocessing import SequenceDataset
+
+
+def top_k_lists(
+    model,
+    dataset: SequenceDataset,
+    users: np.ndarray,
+    k: int = 10,
+    split: str = "test",
+    batch_size: int = 256,
+) -> np.ndarray:
+    """Top-k recommended item ids per user, shape ``(len(users), k)``.
+
+    Seen items and the padding column are excluded, mirroring the
+    evaluation protocol.
+    """
+    users = np.asarray(users)
+    lists = np.zeros((len(users), k), dtype=np.int64)
+    for start in range(0, len(users), batch_size):
+        batch = users[start : start + batch_size]
+        scores = np.array(
+            model.score_users(dataset, batch, split=split), dtype=np.float64
+        )
+        scores[:, 0] = -np.inf
+        for row, user in enumerate(batch):
+            scores[row, dataset.seen_items(int(user))] = -np.inf
+        order = np.argsort(-scores, axis=1)[:, :k]
+        lists[start : start + len(batch)] = order
+    return lists
+
+
+def catalog_coverage(lists: np.ndarray, num_items: int) -> float:
+    """Fraction of the catalogue appearing in at least one top-k list."""
+    if num_items <= 0:
+        raise ValueError("num_items must be positive")
+    recommended = np.unique(lists)
+    recommended = recommended[recommended > 0]
+    return len(recommended) / num_items
+
+
+def popularity_bias(
+    lists: np.ndarray, dataset: SequenceDataset
+) -> float:
+    """Mean training popularity of recommended items / catalogue mean.
+
+    1.0 means recommendations are popularity-neutral; higher values
+    mean the model over-recommends popular items.
+    """
+    counts = np.zeros(dataset.num_items + 1, dtype=np.float64)
+    for sequence in dataset.train_sequences:
+        np.add.at(counts, sequence, 1.0)
+    catalogue_mean = counts[1:].mean()
+    if catalogue_mean == 0:
+        raise ValueError("dataset has no training interactions")
+    return float(counts[lists].mean() / catalogue_mean)
+
+
+def exposure_gini(lists: np.ndarray, num_items: int) -> float:
+    """Gini coefficient of item exposure across all top-k lists."""
+    exposure = np.zeros(num_items + 1, dtype=np.float64)
+    np.add.at(exposure, lists.reshape(-1), 1.0)
+    exposure = np.sort(exposure[1:])
+    total = exposure.sum()
+    if total == 0:
+        return 0.0
+    n = len(exposure)
+    ranks = np.arange(1, n + 1)
+    return float((2.0 * (ranks * exposure).sum()) / (n * total) - (n + 1) / n)
+
+
+def recommendation_diagnostics(
+    model,
+    dataset: SequenceDataset,
+    k: int = 10,
+    max_users: int | None = None,
+    split: str = "test",
+) -> dict[str, float]:
+    """All list-quality diagnostics for one model, as a flat dict."""
+    users = dataset.evaluation_users(split)
+    if max_users is not None:
+        users = users[:max_users]
+    lists = top_k_lists(model, dataset, users, k=k, split=split)
+    return {
+        f"coverage@{k}": catalog_coverage(lists, dataset.num_items),
+        f"popularity_bias@{k}": popularity_bias(lists, dataset),
+        f"gini@{k}": exposure_gini(lists, dataset.num_items),
+    }

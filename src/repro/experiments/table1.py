@@ -1,0 +1,65 @@
+"""Table 1 — dataset statistics after preprocessing (paper §4.1.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.registry import DATASETS, load_dataset
+from repro.experiments.reporting import ResultTable
+
+
+@dataclass
+class Table1Result:
+    """Measured statistics (at ``scale``) next to the paper's values."""
+
+    scale: float
+    measured: dict[str, dict[str, float]]
+
+    def to_markdown(self) -> str:
+        table = ResultTable(
+            headers=[
+                "Dataset",
+                "#users",
+                "#items",
+                "#actions",
+                "avg.length",
+                "density",
+                "paper #users",
+                "paper #items",
+                "paper #actions",
+            ],
+            title=f"Table 1 — dataset statistics (scale={self.scale})",
+        )
+        for name, stats in self.measured.items():
+            spec = DATASETS[name]
+            table.add_row(
+                name,
+                str(int(stats["users"])),
+                str(int(stats["items"])),
+                str(int(stats["actions"])),
+                f"{stats['avg_length']:.1f}",
+                f"{stats['density'] * 100:.2f}%",
+                str(spec.paper_users),
+                str(spec.paper_items),
+                str(spec.paper_actions),
+            )
+        return table.to_markdown()
+
+    def relative_error(self, name: str, column: str) -> float:
+        """|measured − paper| / paper for users/items/actions at scale=1."""
+        spec = DATASETS[name]
+        paper = {
+            "users": spec.paper_users,
+            "items": spec.paper_items,
+            "actions": spec.paper_actions,
+        }[column]
+        return abs(self.measured[name][column] - paper) / paper
+
+
+def run_table1(scale: float = 1.0, seed: int = 0) -> Table1Result:
+    """Generate every dataset and collect its Table-1 statistics."""
+    measured = {}
+    for name in DATASETS:
+        dataset = load_dataset(name, scale=scale, seed=seed)
+        measured[name] = dict(dataset.statistics)
+    return Table1Result(scale=scale, measured=measured)

@@ -1,0 +1,59 @@
+"""Baseline recommenders from the paper's §4.1.3.
+
+* :class:`~repro.models.pop.Pop` — most-popular, non-personalized.
+* :class:`~repro.models.bprmf.BPRMF` — matrix factorization with the
+  pairwise BPR loss.
+* :class:`~repro.models.ncf.NCF` — neural collaborative filtering
+  (GMF + MLP fusion).
+* :class:`~repro.models.gru4rec.GRU4Rec` — GRU sequence model.
+* :class:`~repro.models.sasrec.SASRec` — self-attentive sequential
+  recommendation (also the user-representation encoder of CL4SRec).
+* :class:`~repro.models.sasrec_bpr.SASRecBPR` — SASRec whose item
+  embeddings are initialized from a trained BPR-MF model.
+"""
+
+from repro.models.base import Recommender
+from repro.models.bert4rec import BERT4Rec, BERT4RecConfig
+from repro.models.bprmf import BPRMF, BPRMFConfig
+from repro.models.caser import Caser, CaserConfig
+from repro.models.encoder import SASRecEncoder
+from repro.models.fpmc import FPMC, FPMCConfig
+from repro.models.gru4rec import GRU4Rec, GRU4RecConfig
+from repro.models.losses import bpr_loss, masked_next_item_bce
+from repro.models.ncf import NCF, NCFConfig
+from repro.models.pop import Pop
+from repro.models.s3rec_lite import S3RecLite, S3RecLiteConfig
+from repro.models.sasrec import SASRec, SASRecConfig
+from repro.models.sasrec_bpr import SASRecBPR
+from repro.models.srgnn import SRGNN, SRGNNConfig
+from repro.models.training import TrainConfig, TrainingHistory, train_next_item_model
+
+__all__ = [
+    "BERT4Rec",
+    "BERT4RecConfig",
+    "BPRMF",
+    "BPRMFConfig",
+    "Caser",
+    "CaserConfig",
+    "FPMC",
+    "FPMCConfig",
+    "GRU4Rec",
+    "GRU4RecConfig",
+    "NCF",
+    "NCFConfig",
+    "Pop",
+    "Recommender",
+    "S3RecLite",
+    "S3RecLiteConfig",
+    "SASRec",
+    "SASRecBPR",
+    "SASRecConfig",
+    "SASRecEncoder",
+    "SRGNN",
+    "SRGNNConfig",
+    "TrainConfig",
+    "TrainingHistory",
+    "bpr_loss",
+    "masked_next_item_bce",
+    "train_next_item_model",
+]

@@ -1,0 +1,60 @@
+"""The common recommender interface used by the evaluation harness."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.data.preprocessing import SequenceDataset
+
+
+class Recommender(abc.ABC):
+    """Anything that can be fit on a :class:`SequenceDataset` and score items.
+
+    The scoring contract: ``score_users(dataset, users, split)`` returns
+    an array of shape ``(len(users), num_items + 1)`` where column ``i``
+    is the preference score for item id ``i`` (column 0 — the padding
+    id — is ignored by the evaluator).
+    """
+
+    name: str = "recommender"
+
+    @abc.abstractmethod
+    def fit(self, dataset: SequenceDataset, **kwargs):
+        """Train on the dataset's training sequences."""
+
+    @abc.abstractmethod
+    def score_users(
+        self, dataset: SequenceDataset, users: np.ndarray, split: str = "test"
+    ) -> np.ndarray:
+        """Score every item for each user in ``users``."""
+
+    def recommend(
+        self,
+        dataset: SequenceDataset,
+        user: int,
+        k: int = 10,
+        split: str = "test",
+        exclude_seen: bool = True,
+    ) -> np.ndarray:
+        """Top-``k`` item ids for one user (the serving entry point).
+
+        With ``exclude_seen`` (default) items the user already
+        interacted with are removed, mirroring the evaluation protocol.
+        """
+        if k < 1:
+            raise ValueError("k must be positive")
+        scores = np.array(
+            self.score_users(dataset, np.asarray([user]), split=split),
+            dtype=np.float64,
+        )[0]
+        scores[0] = -np.inf  # padding id
+        if exclude_seen:
+            scores[dataset.seen_items(int(user))] = -np.inf
+        ranked = np.argsort(-scores)
+        ranked = ranked[np.isfinite(scores[ranked])]  # drop masked items
+        return ranked[: min(k, len(ranked))]
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,37 @@
+"""Loss functions shared by the sequential models.
+
+* :func:`masked_next_item_bce` — the paper's fine-tuning objective
+  (Eq. 15): binary cross entropy between the user representation at
+  each step and the positive / sampled-negative items, averaged over
+  real (non-padding) positions.
+* :func:`bpr_loss` — the pairwise Bayesian Personalized Ranking loss
+  used by the BPR-MF baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+def masked_next_item_bce(
+    pos_logits: Tensor, neg_logits: Tensor, mask: np.ndarray
+) -> Tensor:
+    """Masked mean of ``-log σ(pos) - log(1 - σ(neg))`` (paper Eq. 15).
+
+    ``mask`` is 1.0 where a real prediction exists and 0.0 at padding
+    positions; the loss is normalized by the number of real positions.
+    """
+    mask_arr = np.asarray(mask, dtype=np.float64)
+    total = float(mask_arr.sum())
+    if total == 0:
+        raise ValueError("loss mask is all zeros — no real positions in batch")
+    elementwise = F.softplus(-pos_logits) + F.softplus(neg_logits)
+    return (elementwise * Tensor(mask_arr)).sum() / total
+
+
+def bpr_loss(pos_scores: Tensor, neg_scores: Tensor) -> Tensor:
+    """Mean ``-log σ(pos - neg)`` over a batch of preference pairs."""
+    return F.softplus(neg_scores - pos_scores).mean()

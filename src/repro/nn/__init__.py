@@ -1,0 +1,77 @@
+"""A from-scratch, numpy-backed neural network library.
+
+This subpackage is the deep-learning substrate for the CL4SRec
+reproduction.  The execution environment provides no PyTorch or
+TensorFlow, so we implement the pieces the paper relies on ourselves:
+
+* :mod:`repro.nn.tensor` — a reverse-mode automatic differentiation
+  engine over numpy arrays (broadcast-aware, with a topological-order
+  backward pass).
+* :mod:`repro.nn.functional` — softmax, activations, losses and other
+  composite operations.
+* :mod:`repro.nn.module` / :mod:`repro.nn.layers` — ``Module`` /
+  ``Parameter`` abstractions and the standard layers (``Linear``,
+  ``Embedding``, ``LayerNorm``, ``Dropout``).
+* :mod:`repro.nn.attention` / :mod:`repro.nn.transformer` — multi-head
+  self-attention and the Transformer encoder used by SASRec / CL4SRec.
+* :mod:`repro.nn.rnn` — the GRU used by the GRU4Rec baseline.
+* :mod:`repro.nn.optim` — SGD and Adam with linear learning-rate decay.
+* :mod:`repro.nn.init` — weight initializers, including the truncated
+  normal initialization the paper prescribes.
+* :mod:`repro.nn.serialization` — ``.npz`` state-dict persistence.
+
+Every differentiable primitive is validated against finite differences
+in the test suite.
+"""
+
+from repro.nn import functional, init
+from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.checkpoint import load_checkpoint, save_checkpoint
+from repro.nn.layers import Dropout, Embedding, LayerNorm, Linear, Sequential
+from repro.nn.module import Module, Parameter
+from repro.nn.optim import SGD, Adam, GradientClipper, LinearDecaySchedule, Optimizer
+from repro.nn.rnn import GRU, GRUCell
+from repro.nn.schedules import (
+    ConstantSchedule,
+    CosineSchedule,
+    StepDecaySchedule,
+    WarmupLinearSchedule,
+)
+from repro.nn.serialization import load_state_dict, save_state_dict
+from repro.nn.tensor import Tensor, concat, no_grad, stack, tensor
+from repro.nn.transformer import TransformerEncoder, TransformerEncoderLayer
+
+__all__ = [
+    "Adam",
+    "ConstantSchedule",
+    "CosineSchedule",
+    "Dropout",
+    "Embedding",
+    "GRU",
+    "GRUCell",
+    "GradientClipper",
+    "LayerNorm",
+    "Linear",
+    "LinearDecaySchedule",
+    "Module",
+    "MultiHeadSelfAttention",
+    "Optimizer",
+    "Parameter",
+    "SGD",
+    "Sequential",
+    "StepDecaySchedule",
+    "Tensor",
+    "WarmupLinearSchedule",
+    "TransformerEncoder",
+    "TransformerEncoderLayer",
+    "concat",
+    "functional",
+    "init",
+    "load_checkpoint",
+    "load_state_dict",
+    "no_grad",
+    "save_checkpoint",
+    "save_state_dict",
+    "stack",
+    "tensor",
+]

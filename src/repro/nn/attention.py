@@ -1,0 +1,121 @@
+"""Multi-head scaled dot-product self-attention (paper §3.4.2).
+
+Supports the causal mask the paper applies so that the representation
+at step *t* only depends on items at steps ≤ *t*, plus a key-padding
+mask so left-padded batch positions contribute nothing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers import Dropout, Linear
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+_NEG_INF = -1e9
+
+
+def causal_mask(length: int) -> np.ndarray:
+    """Boolean ``(length, length)`` mask; ``True`` marks disallowed
+    (future) connections, i.e. key position > query position."""
+    return np.triu(np.ones((length, length), dtype=bool), k=1)
+
+
+class MultiHeadSelfAttention(Module):
+    """Multi-head self-attention with optional causal + padding masks.
+
+    Parameters
+    ----------
+    dim:
+        Model dimensionality ``d``; must be divisible by ``num_heads``.
+    num_heads:
+        Number of attention heads ``h`` (the paper uses 2).
+    dropout:
+        Dropout rate applied to the attention probabilities.
+    rng:
+        Generator for parameter init and dropout masks.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim={dim} must be divisible by num_heads={num_heads}")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.query_proj = Linear(dim, dim, rng=rng)
+        self.key_proj = Linear(dim, dim, rng=rng)
+        self.value_proj = Linear(dim, dim, rng=rng)
+        self.out_proj = Linear(dim, dim, rng=rng)
+        self.attn_dropout = Dropout(dropout, rng=rng)
+
+    def forward(
+        self,
+        x: Tensor,
+        causal: bool = True,
+        key_padding_mask: np.ndarray | None = None,
+        return_probs: bool = False,
+    ):
+        """Attend within each sequence of the batch.
+
+        Parameters
+        ----------
+        x:
+            Input of shape ``(batch, length, dim)``.
+        causal:
+            Apply the upper-triangular future mask (default true, per
+            the paper's next-item objective).
+        key_padding_mask:
+            Optional boolean ``(batch, length)`` array where ``True``
+            marks padding positions that must never be attended to.
+        return_probs:
+            When true, also return the post-softmax attention
+            probabilities as a raw ``(batch, heads, length, length)``
+            array (pre-dropout; for analysis, not for training).
+        """
+        batch, length, __ = x.shape
+        q = self._split_heads(self.query_proj(x), batch, length)
+        k = self._split_heads(self.key_proj(x), batch, length)
+        v = self._split_heads(self.value_proj(x), batch, length)
+
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = q.matmul(k.swapaxes(-1, -2)) * scale  # (B, h, T, T)
+
+        mask = np.zeros((batch, 1, length, length), dtype=bool)
+        if causal:
+            mask |= causal_mask(length)[None, None, :, :]
+        if key_padding_mask is not None:
+            key_padding_mask = np.asarray(key_padding_mask, dtype=bool)
+            mask |= key_padding_mask[:, None, None, :]
+        # Never mask an entire row: a fully-masked softmax row is NaN.
+        # Rows that would be fully masked (padding queries) get unmasked
+        # self-attention to their own position; their outputs are
+        # ignored downstream because losses mask padding positions.
+        fully_masked = mask.all(axis=-1, keepdims=True)
+        diagonal = np.eye(length, dtype=bool)[None, None, :, :]
+        mask = np.where(fully_masked & diagonal, False, mask)
+
+        scores = scores.masked_fill(mask, _NEG_INF)
+        probs = F.softmax(scores, axis=-1)
+        raw_probs = probs.data.copy() if return_probs else None
+        probs = self.attn_dropout(probs)
+        context = probs.matmul(v)  # (B, h, T, dh)
+        context = context.transpose(0, 2, 1, 3).reshape(batch, length, self.dim)
+        out = self.out_proj(context)
+        if return_probs:
+            return out, raw_probs
+        return out
+
+    def _split_heads(self, x: Tensor, batch: int, length: int) -> Tensor:
+        return x.reshape(batch, length, self.num_heads, self.head_dim).transpose(
+            0, 2, 1, 3
+        )

@@ -1,0 +1,161 @@
+"""Composite and fused differentiable operations.
+
+Numerically sensitive composites (softmax, log-softmax, layer norm) are
+implemented as fused primitives with analytic backward rules; the rest
+compose the :class:`repro.nn.tensor.Tensor` primitives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import expit
+
+from repro.nn.tensor import Tensor
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    return x.relu()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Numerically stable logistic function."""
+    return x.sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Hyperbolic tangent."""
+    return x.tanh()
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian error linear unit (tanh approximation)."""
+    inner = 0.7978845608028654 * (x + 0.044715 * x * x * x)
+    return 0.5 * x * (1.0 + inner.tanh())
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Fused softmax along ``axis`` with the standard max-shift trick."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    out = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray):
+        # d softmax: s * (g - sum(g * s))
+        dot = (grad * out).sum(axis=axis, keepdims=True)
+        return ((x, out * (grad - dot)),)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Fused log-softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out = shifted - log_norm
+    soft = np.exp(out)
+
+    def backward(grad: np.ndarray):
+        return ((x, grad - soft * grad.sum(axis=axis, keepdims=True)),)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-8) -> Tensor:
+    """Fused layer normalization over the last axis.
+
+    ``weight`` and ``bias`` have shape ``(d,)`` where ``d`` is the size
+    of the last axis of ``x``.
+    """
+    mean = x.data.mean(axis=-1, keepdims=True)
+    centered = x.data - mean
+    var = (centered**2).mean(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    normalized = centered * inv_std
+    out = normalized * weight.data + bias.data
+    d = x.data.shape[-1]
+
+    def backward(grad: np.ndarray):
+        grad_weight = (grad * normalized).reshape(-1, d).sum(axis=0)
+        grad_bias = grad.reshape(-1, d).sum(axis=0)
+        grad_norm = grad * weight.data
+        # Standard layer-norm backward:
+        # dx = (1/d) * inv_std * (d*gn - sum(gn) - n * sum(gn * n))
+        sum_gn = grad_norm.sum(axis=-1, keepdims=True)
+        sum_gn_n = (grad_norm * normalized).sum(axis=-1, keepdims=True)
+        grad_x = (inv_std / d) * (d * grad_norm - sum_gn - normalized * sum_gn_n)
+        return ((x, grad_x), (weight, grad_weight), (bias, grad_bias))
+
+    return Tensor._make(out, (x, weight, bias), backward)
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy of integer ``targets`` under ``logits``.
+
+    ``logits`` has shape ``(..., num_classes)``; ``targets`` the same
+    shape minus the final axis.
+    """
+    targets = np.asarray(targets)
+    log_probs = log_softmax(logits, axis=-1)
+    flat = log_probs.reshape(-1, logits.shape[-1])
+    rows = np.arange(flat.shape[0])
+    picked = flat[rows, targets.reshape(-1)]
+    return -picked.mean()
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean BCE between ``logits`` and binary ``targets``.
+
+    Uses the stable formulation ``max(x, 0) - x*t + log(1 + exp(-|x|))``.
+    """
+    targets_arr = np.asarray(targets, dtype=np.float64)
+    x = logits.data
+    out = np.maximum(x, 0.0) - x * targets_arr + np.log1p(np.exp(-np.abs(x)))
+    value = np.asarray(out.mean())
+    sig = expit(x)
+    scale = 1.0 / x.size
+
+    def backward(grad: np.ndarray):
+        return ((logits, grad * scale * (sig - targets_arr)),)
+
+    return Tensor._make(value, (logits,), backward)
+
+
+def softplus(x: Tensor) -> Tensor:
+    """Numerically stable ``log(1 + exp(x))``.
+
+    Useful for ranking losses: ``-log σ(x) = softplus(-x)`` and
+    ``-log(1 - σ(x)) = softplus(x)``.
+    """
+    data = x.data
+    out = np.maximum(data, 0.0) + np.log1p(np.exp(-np.abs(data)))
+    sig = expit(data)
+
+    def backward(grad: np.ndarray):
+        return ((x, grad * sig),)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def cosine_similarity(a: Tensor, b: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
+    """Cosine similarity between ``a`` and ``b`` along ``axis``."""
+    dot = (a * b).sum(axis=axis)
+    norm_a = ((a * a).sum(axis=axis) + eps).sqrt()
+    norm_b = ((b * b).sum(axis=axis) + eps).sqrt()
+    return dot / (norm_a * norm_b)
+
+
+def l2_normalize(x: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
+    """Scale vectors along ``axis`` to unit L2 norm."""
+    norm = ((x * x).sum(axis=axis, keepdims=True) + eps).sqrt()
+    return x / norm
+
+
+def dropout_mask(
+    shape: tuple[int, ...], rate: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample an inverted-dropout mask (already scaled by 1/keep)."""
+    if not 0.0 <= rate < 1.0:
+        raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+    keep = 1.0 - rate
+    return (rng.random(shape) < keep).astype(np.float64) / keep

@@ -1,0 +1,104 @@
+"""Gated recurrent unit layers (for the GRU4Rec baseline).
+
+Gates are fused into a single input-to-hidden and hidden-to-hidden
+matmul per step, then sliced, matching the standard GRU formulation:
+
+.. math::
+
+    r_t &= \\sigma(x_t W_{ir} + b_{ir} + h_{t-1} W_{hr} + b_{hr}) \\\\
+    z_t &= \\sigma(x_t W_{iz} + b_{iz} + h_{t-1} W_{hz} + b_{hz}) \\\\
+    n_t &= \\tanh(x_t W_{in} + b_{in} + r_t (h_{t-1} W_{hn} + b_{hn})) \\\\
+    h_t &= (1 - z_t) n_t + z_t h_{t-1}
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor, stack
+
+
+class GRUCell(Module):
+    """A single GRU step operating on ``(batch, input_dim)`` inputs."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dim: int,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.weight_ih = Parameter(init.xavier_uniform((input_dim, 3 * hidden_dim), rng))
+        self.weight_hh = Parameter(init.xavier_uniform((hidden_dim, 3 * hidden_dim), rng))
+        self.bias_ih = Parameter(init.zeros((3 * hidden_dim,)))
+        self.bias_hh = Parameter(init.zeros((3 * hidden_dim,)))
+
+    def forward(self, x: Tensor, hidden: Tensor) -> Tensor:
+        h = self.hidden_dim
+        gates_x = x.matmul(self.weight_ih) + self.bias_ih
+        gates_h = hidden.matmul(self.weight_hh) + self.bias_hh
+        reset = (gates_x[:, :h] + gates_h[:, :h]).sigmoid()
+        update = (gates_x[:, h : 2 * h] + gates_h[:, h : 2 * h]).sigmoid()
+        candidate = (gates_x[:, 2 * h :] + reset * gates_h[:, 2 * h :]).tanh()
+        return (1.0 - update) * candidate + update * hidden
+
+
+class GRU(Module):
+    """Unidirectional (optionally stacked) GRU over padded sequences.
+
+    Accepts inputs of shape ``(batch, length, input_dim)`` and returns
+    the per-step hidden states ``(batch, length, hidden_dim)`` of the
+    final layer.  Padding positions can be frozen via ``step_mask`` so
+    the hidden state carries over unchanged through padded steps.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dim: int,
+        num_layers: int = 1,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.num_layers = num_layers
+        self.cells: list[GRUCell] = []
+        for i in range(num_layers):
+            cell = GRUCell(input_dim if i == 0 else hidden_dim, hidden_dim, rng=rng)
+            self.add_module(f"cell{i}", cell)
+            self.cells.append(cell)
+
+    def forward(self, x: Tensor, step_mask: np.ndarray | None = None) -> Tensor:
+        """Run the GRU over time.
+
+        Parameters
+        ----------
+        x:
+            ``(batch, length, input_dim)`` inputs.
+        step_mask:
+            Optional ``(batch, length)`` float/bool array; 1 where the
+            step is real, 0 where it is padding.  At padding steps the
+            hidden state is carried over unchanged.
+        """
+        batch, length, __ = x.shape
+        layer_input = x
+        for cell in self.cells:
+            hidden = Tensor(np.zeros((batch, self.hidden_dim)))
+            outputs = []
+            for t in range(length):
+                step = layer_input[:, t, :]
+                new_hidden = cell(step, hidden)
+                if step_mask is not None:
+                    keep = np.asarray(step_mask, dtype=np.float64)[:, t][:, None]
+                    new_hidden = new_hidden * Tensor(keep) + hidden * Tensor(1.0 - keep)
+                hidden = new_hidden
+                outputs.append(hidden)
+            layer_input = stack(outputs, axis=1)
+        return layer_input

@@ -1,0 +1,25 @@
+"""Persist model state dicts as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+from typing import Mapping
+
+import numpy as np
+
+
+def save_state_dict(state: Mapping[str, np.ndarray], path: str | os.PathLike) -> None:
+    """Write a flat ``name -> array`` mapping to ``path`` (.npz).
+
+    Dots in parameter names are preserved; ``np.savez`` handles
+    arbitrary string keys.
+    """
+    arrays = {name: np.asarray(values) for name, values in state.items()}
+    with open(path, "wb") as handle:
+        np.savez(handle, **arrays)
+
+
+def load_state_dict(path: str | os.PathLike) -> dict[str, np.ndarray]:
+    """Read a state dict previously written by :func:`save_state_dict`."""
+    with np.load(path) as archive:
+        return {name: archive[name].copy() for name in archive.files}

@@ -1,0 +1,606 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+The :class:`Tensor` class records a dynamic computation graph as
+operations execute; calling :meth:`Tensor.backward` walks the graph in
+reverse topological order and accumulates gradients into every tensor
+created with ``requires_grad=True``.
+
+Design notes
+------------
+* All arithmetic is broadcast-aware: gradients flowing back through a
+  broadcast are reduced with :func:`_unbroadcast` so that a parameter of
+  shape ``(d,)`` added to a batch of shape ``(b, d)`` receives a
+  gradient of shape ``(d,)``.
+* A handful of numerically sensitive composites (softmax, log-softmax,
+  layer normalization) are implemented as fused primitives in
+  :mod:`repro.nn.functional` with analytic backward rules; everything
+  else composes the primitives defined here.
+* ``float64`` is the default dtype.  The library trains small models on
+  CPU where float64 costs little and makes finite-difference gradient
+  checks tight.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Sequence, Union
+
+import numpy as np
+
+Arrayish = Union["Tensor", np.ndarray, float, int, list, tuple]
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph construction.
+
+    Used for evaluation loops where gradients are not needed; inside the
+    block every operation produces constant tensors, which keeps memory
+    flat during full-ranking evaluation.
+    """
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record the autograd graph."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so it matches ``shape`` after a broadcast.
+
+    Summing over the leading axes that were added by broadcasting and
+    over any axis that was expanded from size one.
+    """
+    if grad.shape == shape:
+        return grad
+    # Remove extra leading dimensions.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Collapse broadcast dimensions (size 1 in the original shape).
+    axes = tuple(i for i, size in enumerate(shape) if size == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value: Arrayish, dtype=np.float64) -> np.ndarray:
+    if isinstance(value, Tensor):
+        raise TypeError("expected a raw array-like, got a Tensor")
+    return np.asarray(value, dtype=dtype)
+
+
+class Tensor:
+    """A numpy array with reverse-mode autodiff support.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload.  Stored as ``float64`` unless a dtype is
+        given explicitly.
+    requires_grad:
+        Whether gradients should be accumulated into :attr:`grad` during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+
+    def __init__(
+        self,
+        data: Arrayish,
+        requires_grad: bool = False,
+        _parents: tuple["Tensor", ...] = (),
+        _backward: Callable[[np.ndarray], None] | None = None,
+    ) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad)
+        self._parents = _parents
+        self._backward = _backward
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({np.array2string(self.data, precision=4, threshold=8)}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        """Return the value of a single-element tensor as a float."""
+        return float(self.data.item())
+
+    def detach(self) -> "Tensor":
+        """Return a tensor sharing data but cut off from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to ``None``."""
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Graph utilities
+    # ------------------------------------------------------------------
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = grad.astype(np.float64, copy=True)
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, gradient: np.ndarray | None = None) -> None:
+        """Run reverse-mode autodiff from this tensor.
+
+        Parameters
+        ----------
+        gradient:
+            Seed gradient.  Defaults to ``1.0`` and therefore requires a
+            scalar tensor; pass an explicit array for non-scalar roots.
+        """
+        if gradient is None:
+            if self.data.size != 1:
+                raise ValueError(
+                    "backward() without a gradient argument requires a scalar "
+                    f"tensor, got shape {self.shape}"
+                )
+            gradient = np.ones_like(self.data)
+        gradient = np.asarray(gradient, dtype=np.float64)
+        if gradient.shape != self.data.shape:
+            raise ValueError(
+                f"seed gradient shape {gradient.shape} does not match tensor "
+                f"shape {self.data.shape}"
+            )
+
+        order: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        # Iterative DFS to tolerate deep graphs (long training loops).
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): gradient}
+        for node in reversed(order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node.requires_grad:
+                node._accumulate(node_grad)
+            if node._backward is None:
+                continue
+            for parent, parent_grad in node._backward(node_grad):
+                if parent_grad is None:
+                    continue
+                key = id(parent)
+                if key in grads:
+                    grads[key] = grads[key] + parent_grad
+                else:
+                    grads[key] = parent_grad
+
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Callable[[np.ndarray], Iterable[tuple["Tensor", np.ndarray | None]]],
+    ) -> "Tensor":
+        """Create an op result, recording the graph only when needed."""
+        if _GRAD_ENABLED and any(p.requires_grad or p._parents for p in parents):
+            return Tensor(data, _parents=tuple(parents), _backward=backward)
+        return Tensor(data)
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _coerce(value: Arrayish) -> "Tensor":
+        if isinstance(value, Tensor):
+            return value
+        return Tensor(np.asarray(value, dtype=np.float64))
+
+    def __add__(self, other: Arrayish) -> "Tensor":
+        other = Tensor._coerce(other)
+        out = self.data + other.data
+
+        def backward(grad: np.ndarray):
+            return (
+                (self, _unbroadcast(grad, self.shape)),
+                (other, _unbroadcast(grad, other.shape)),
+            )
+
+        return Tensor._make(out, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: Arrayish) -> "Tensor":
+        other = Tensor._coerce(other)
+        out = self.data - other.data
+
+        def backward(grad: np.ndarray):
+            return (
+                (self, _unbroadcast(grad, self.shape)),
+                (other, _unbroadcast(-grad, other.shape)),
+            )
+
+        return Tensor._make(out, (self, other), backward)
+
+    def __rsub__(self, other: Arrayish) -> "Tensor":
+        return Tensor._coerce(other) - self
+
+    def __mul__(self, other: Arrayish) -> "Tensor":
+        other = Tensor._coerce(other)
+        out = self.data * other.data
+        self_data, other_data = self.data, other.data
+
+        def backward(grad: np.ndarray):
+            return (
+                (self, _unbroadcast(grad * other_data, self.shape)),
+                (other, _unbroadcast(grad * self_data, other.shape)),
+            )
+
+        return Tensor._make(out, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Arrayish) -> "Tensor":
+        other = Tensor._coerce(other)
+        out = self.data / other.data
+        self_data, other_data = self.data, other.data
+
+        def backward(grad: np.ndarray):
+            return (
+                (self, _unbroadcast(grad / other_data, self.shape)),
+                (
+                    other,
+                    _unbroadcast(-grad * self_data / (other_data**2), other.shape),
+                ),
+            )
+
+        return Tensor._make(out, (self, other), backward)
+
+    def __rtruediv__(self, other: Arrayish) -> "Tensor":
+        return Tensor._coerce(other) / self
+
+    def __neg__(self) -> "Tensor":
+        out = -self.data
+
+        def backward(grad: np.ndarray):
+            return ((self, -grad),)
+
+        return Tensor._make(out, (self,), backward)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if isinstance(exponent, Tensor):
+            raise TypeError("tensor exponents are not supported; use exp/log")
+        out = self.data**exponent
+        self_data = self.data
+
+        def backward(grad: np.ndarray):
+            return ((self, grad * exponent * self_data ** (exponent - 1)),)
+
+        return Tensor._make(out, (self,), backward)
+
+    def __matmul__(self, other: Arrayish) -> "Tensor":
+        return self.matmul(other)
+
+    def matmul(self, other: Arrayish) -> "Tensor":
+        """Matrix product supporting batched operands (via ``np.matmul``)."""
+        other = Tensor._coerce(other)
+        out = np.matmul(self.data, other.data)
+        self_data, other_data = self.data, other.data
+
+        def backward(grad: np.ndarray):
+            if other_data.ndim == 1 and self_data.ndim == 1:
+                grad_self = grad * other_data
+                grad_other = grad * self_data
+            elif other_data.ndim == 1:
+                grad_self = np.expand_dims(grad, -1) * other_data
+                grad_other = _unbroadcast(
+                    (np.expand_dims(grad, -1) * self_data).sum(axis=-2)
+                    if self_data.ndim > 2
+                    else self_data.T @ grad,
+                    other_data.shape,
+                )
+                grad_self = _unbroadcast(grad_self, self_data.shape)
+            elif self_data.ndim == 1:
+                grad_self = _unbroadcast(
+                    np.matmul(grad, np.swapaxes(other_data, -1, -2)), self_data.shape
+                )
+                grad_other = np.matmul(
+                    np.expand_dims(self_data, -1), np.expand_dims(grad, -2)
+                )
+                grad_other = _unbroadcast(grad_other, other_data.shape)
+            else:
+                grad_self = _unbroadcast(
+                    np.matmul(grad, np.swapaxes(other_data, -1, -2)), self_data.shape
+                )
+                grad_other = _unbroadcast(
+                    np.matmul(np.swapaxes(self_data, -1, -2), grad), other_data.shape
+                )
+            return ((self, grad_self), (other, grad_other))
+
+        return Tensor._make(out, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # Elementwise functions
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out = np.exp(self.data)
+
+        def backward(grad: np.ndarray):
+            return ((self, grad * out),)
+
+        return Tensor._make(out, (self,), backward)
+
+    def log(self) -> "Tensor":
+        out = np.log(self.data)
+        self_data = self.data
+
+        def backward(grad: np.ndarray):
+            return ((self, grad / self_data),)
+
+        return Tensor._make(out, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        out = np.sqrt(self.data)
+
+        def backward(grad: np.ndarray):
+            return ((self, grad / (2.0 * out)),)
+
+        return Tensor._make(out, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        out = np.tanh(self.data)
+
+        def backward(grad: np.ndarray):
+            return ((self, grad * (1.0 - out**2)),)
+
+        return Tensor._make(out, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        # Numerically stable logistic function.
+        out = np.where(
+            self.data >= 0,
+            1.0 / (1.0 + np.exp(-np.clip(self.data, 0, None))),
+            np.exp(np.clip(self.data, None, 0))
+            / (1.0 + np.exp(np.clip(self.data, None, 0))),
+        )
+
+        def backward(grad: np.ndarray):
+            return ((self, grad * out * (1.0 - out)),)
+
+        return Tensor._make(out, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out = self.data * mask
+
+        def backward(grad: np.ndarray):
+            return ((self, grad * mask),)
+
+        return Tensor._make(out, (self,), backward)
+
+    def clip(self, low: float | None, high: float | None) -> "Tensor":
+        """Clamp values; gradient is passed through inside the range."""
+        out = np.clip(self.data, low, high)
+        inside = np.ones_like(self.data, dtype=bool)
+        if low is not None:
+            inside &= self.data >= low
+        if high is not None:
+            inside &= self.data <= high
+
+        def backward(grad: np.ndarray):
+            return ((self, grad * inside),)
+
+        return Tensor._make(out, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        out = self.data.sum(axis=axis, keepdims=keepdims)
+        self_shape = self.shape
+
+        def backward(grad: np.ndarray):
+            expanded = grad
+            if axis is not None and not keepdims:
+                axes = (axis,) if isinstance(axis, int) else axis
+                for ax in sorted(a % len(self_shape) for a in axes):
+                    expanded = np.expand_dims(expanded, ax)
+            return ((self, np.broadcast_to(expanded, self_shape).copy()),)
+
+        return Tensor._make(np.asarray(out), (self,), backward)
+
+    def mean(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else axis
+            count = int(np.prod([self.shape[a % self.ndim] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis: int, keepdims: bool = False) -> "Tensor":
+        out = self.data.max(axis=axis, keepdims=keepdims)
+        argmax = np.expand_dims(self.data.argmax(axis=axis), axis)
+        self_shape = self.shape
+
+        def backward(grad: np.ndarray):
+            expanded = grad if keepdims else np.expand_dims(grad, axis)
+            full = np.zeros(self_shape, dtype=np.float64)
+            np.put_along_axis(full, argmax, expanded, axis)
+            return ((self, full),)
+
+        return Tensor._make(np.asarray(out), (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out = self.data.reshape(shape)
+        original = self.shape
+
+        def backward(grad: np.ndarray):
+            return ((self, grad.reshape(original)),)
+
+        return Tensor._make(out, (self,), backward)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        out = self.data.transpose(axes)
+        inverse = np.argsort(axes)
+
+        def backward(grad: np.ndarray):
+            return ((self, grad.transpose(inverse)),)
+
+        return Tensor._make(out, (self,), backward)
+
+    def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+        axes = list(range(self.ndim))
+        axes[axis1], axes[axis2] = axes[axis2], axes[axis1]
+        return self.transpose(*axes)
+
+    def __getitem__(self, key) -> "Tensor":
+        out = self.data[key]
+        self_shape = self.shape
+
+        def backward(grad: np.ndarray):
+            full = np.zeros(self_shape, dtype=np.float64)
+            np.add.at(full, key, grad)
+            return ((self, full),)
+
+        return Tensor._make(np.asarray(out), (self,), backward)
+
+    def take_rows(self, indices: np.ndarray) -> "Tensor":
+        """Gather rows along axis 0 (embedding lookup).
+
+        ``indices`` may have any shape; the result has shape
+        ``indices.shape + self.shape[1:]``.  The backward pass
+        scatter-adds into the source rows (``np.add.at``), which is the
+        behaviour embedding tables need when indices repeat.
+        """
+        indices = np.asarray(indices)
+        out = self.data[indices]
+        self_shape = self.shape
+
+        def backward(grad: np.ndarray):
+            full = np.zeros(self_shape, dtype=np.float64)
+            np.add.at(full, indices.reshape(-1), grad.reshape(-1, *self_shape[1:]))
+            return ((self, full),)
+
+        return Tensor._make(out, (self,), backward)
+
+    def masked_fill(self, mask: np.ndarray, value: float) -> "Tensor":
+        """Replace entries where ``mask`` is true with ``value``.
+
+        The gradient is zero at masked positions.  ``mask`` broadcasts
+        against the tensor's shape (as in attention masking).
+        """
+        mask = np.broadcast_to(np.asarray(mask, dtype=bool), self.shape)
+        out = np.where(mask, value, self.data)
+
+        def backward(grad: np.ndarray):
+            return ((self, np.where(mask, 0.0, grad)),)
+
+        return Tensor._make(out, (self,), backward)
+
+    def expand_dims(self, axis: int) -> "Tensor":
+        out = np.expand_dims(self.data, axis)
+
+        def backward(grad: np.ndarray):
+            return ((self, np.squeeze(grad, axis=axis)),)
+
+        return Tensor._make(out, (self,), backward)
+
+    def squeeze(self, axis: int) -> "Tensor":
+        out = np.squeeze(self.data, axis=axis)
+
+        def backward(grad: np.ndarray):
+            return ((self, np.expand_dims(grad, axis)),)
+
+        return Tensor._make(out, (self,), backward)
+
+
+def tensor(data: Arrayish, requires_grad: bool = False) -> Tensor:
+    """Convenience constructor mirroring ``torch.tensor``."""
+    return Tensor(data, requires_grad=requires_grad)
+
+
+def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient routing."""
+    tensors = [Tensor._coerce(t) for t in tensors]
+    out = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray):
+        slices = []
+        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            index = [slice(None)] * grad.ndim
+            index[axis] = slice(start, stop)
+            slices.append((t, grad[tuple(index)]))
+        return slices
+
+    return Tensor._make(out, tuple(tensors), backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis with gradient routing."""
+    tensors = [Tensor._coerce(t) for t in tensors]
+    out = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray):
+        parts = np.split(grad, len(tensors), axis=axis)
+        return [
+            (t, np.squeeze(part, axis=axis)) for t, part in zip(tensors, parts)
+        ]
+
+    return Tensor._make(out, tuple(tensors), backward)

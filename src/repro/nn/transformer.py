@@ -1,0 +1,109 @@
+"""Transformer encoder blocks (paper §3.4).
+
+Each block is the post-norm residual composition the paper writes out
+in Eq. (14):
+
+.. math::
+
+    F = \\mathrm{LayerNorm}(H + \\mathrm{Dropout}(\\mathrm{MH}(H)))
+
+    \\mathrm{Trm}(H) = \\mathrm{LayerNorm}(F + \\mathrm{Dropout}(\\mathrm{PFFN}(F)))
+
+with a position-wise feed-forward network
+``FFN(h) = ReLU(h W1 + b1) W2 + b2`` (Eq. 11).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.layers import Dropout, LayerNorm, Linear
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+
+class PositionwiseFeedForward(Module):
+    """Two-layer position-wise MLP with ReLU (Eq. 11)."""
+
+    def __init__(
+        self,
+        dim: int,
+        hidden_dim: int,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        self.fc1 = Linear(dim, hidden_dim, rng=rng)
+        self.fc2 = Linear(hidden_dim, dim, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc2(F.relu(self.fc1(x)))
+
+
+class TransformerEncoderLayer(Module):
+    """One Trm block: self-attention + PFFN, each with residual,
+    dropout and post-layer-norm (Eq. 12/14)."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        hidden_dim: int | None = None,
+        dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        hidden_dim = hidden_dim if hidden_dim is not None else 4 * dim
+        self.attention = MultiHeadSelfAttention(dim, num_heads, dropout=dropout, rng=rng)
+        self.feed_forward = PositionwiseFeedForward(dim, hidden_dim, rng=rng)
+        self.norm1 = LayerNorm(dim)
+        self.norm2 = LayerNorm(dim)
+        self.dropout1 = Dropout(dropout, rng=rng)
+        self.dropout2 = Dropout(dropout, rng=rng)
+
+    def forward(
+        self,
+        x: Tensor,
+        causal: bool = True,
+        key_padding_mask: np.ndarray | None = None,
+    ) -> Tensor:
+        attended = self.attention(x, causal=causal, key_padding_mask=key_padding_mask)
+        x = self.norm1(x + self.dropout1(attended))
+        transformed = self.feed_forward(x)
+        return self.norm2(x + self.dropout2(transformed))
+
+
+class TransformerEncoder(Module):
+    """A stack of :class:`TransformerEncoderLayer` blocks (paper: L=2)."""
+
+    def __init__(
+        self,
+        num_layers: int,
+        dim: int,
+        num_heads: int,
+        hidden_dim: int | None = None,
+        dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.num_layers = num_layers
+        self.layers: list[TransformerEncoderLayer] = []
+        for i in range(num_layers):
+            layer = TransformerEncoderLayer(
+                dim, num_heads, hidden_dim=hidden_dim, dropout=dropout, rng=rng
+            )
+            self.add_module(f"layer{i}", layer)
+            self.layers.append(layer)
+
+    def forward(
+        self,
+        x: Tensor,
+        causal: bool = True,
+        key_padding_mask: np.ndarray | None = None,
+    ) -> Tensor:
+        for layer in self.layers:
+            x = layer(x, causal=causal, key_padding_mask=key_padding_mask)
+        return x

@@ -1,0 +1,94 @@
+"""Item co-occurrence correlation substrate."""
+
+import numpy as np
+import pytest
+
+from repro.augment.correlation import ItemCorrelation
+
+
+def structured_sequences():
+    """Items 1&2 always co-occur; item 5 never appears near 1."""
+    return [
+        np.array([1, 2, 1, 2, 1, 2]),
+        np.array([1, 2, 3]),
+        np.array([2, 1, 4]),
+        np.array([5, 6, 5, 6]),
+    ]
+
+
+class TestFit:
+    def test_requires_fit(self):
+        corr = ItemCorrelation(num_items=6)
+        with pytest.raises(RuntimeError):
+            corr.most_similar(1)
+
+    def test_co_occurring_items_are_neighbours(self):
+        corr = ItemCorrelation(num_items=6, window=2, top_k=3).fit(
+            structured_sequences()
+        )
+        neighbours, weights = corr.most_similar(1)
+        assert neighbours[0] == 2  # strongest co-occurrence
+        assert weights[0] > 0
+
+    def test_unrelated_items_not_neighbours(self):
+        corr = ItemCorrelation(num_items=6, window=2, top_k=5).fit(
+            structured_sequences()
+        )
+        neighbours, __ = corr.most_similar(1)
+        assert 5 not in neighbours
+        assert 6 not in neighbours
+
+    def test_symmetry(self):
+        corr = ItemCorrelation(num_items=6, window=2, top_k=3).fit(
+            structured_sequences()
+        )
+        n1, __ = corr.most_similar(5)
+        n2, __ = corr.most_similar(6)
+        assert 6 in n1
+        assert 5 in n2
+
+    def test_item_never_its_own_neighbour(self):
+        corr = ItemCorrelation(num_items=6, window=3, top_k=5).fit(
+            structured_sequences()
+        )
+        for item in range(1, 7):
+            neighbours, __ = corr.most_similar(item)
+            assert item not in neighbours
+
+    def test_empty_sequences(self):
+        corr = ItemCorrelation(num_items=3).fit([])
+        neighbours, weights = corr.most_similar(1)
+        assert (neighbours == 0).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ItemCorrelation(num_items=0)
+        with pytest.raises(ValueError):
+            ItemCorrelation(num_items=5, window=0)
+        with pytest.raises(ValueError):
+            ItemCorrelation(num_items=5, top_k=0)
+
+    def test_out_of_range_item(self):
+        corr = ItemCorrelation(num_items=3).fit([np.array([1, 2])])
+        with pytest.raises(IndexError):
+            corr.most_similar(0)
+        with pytest.raises(IndexError):
+            corr.most_similar(4)
+
+
+class TestSampleSimilar:
+    def test_samples_from_neighbours(self):
+        corr = ItemCorrelation(num_items=6, window=2, top_k=3).fit(
+            structured_sequences()
+        )
+        rng = np.random.default_rng(0)
+        samples = {corr.sample_similar(1, rng) for __ in range(50)}
+        neighbours, __ = corr.most_similar(1)
+        valid = set(neighbours[neighbours > 0].tolist())
+        assert samples <= valid
+
+    def test_isolated_item_falls_back_to_itself(self):
+        # Item 3 appears in only one sequence of length 1-ish context.
+        corr = ItemCorrelation(num_items=9).fit([np.array([7])])
+        rng = np.random.default_rng(0)
+        assert corr.sample_similar(7, rng) == 7

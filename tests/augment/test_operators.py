@@ -1,0 +1,188 @@
+"""Crop / Mask / Reorder operators: exact semantics of Eq. 4-6."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.augment import Crop, Identity, Mask, Reorder
+
+sequences = st.lists(
+    st.integers(1, 500), min_size=1, max_size=40
+).map(lambda xs: np.asarray(xs, dtype=np.int64))
+
+
+def make_rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestCrop:
+    def test_length_is_floor_eta_n(self):
+        seq = np.arange(1, 11)
+        out = Crop(0.45)(seq, make_rng())
+        assert len(out) == 4  # floor(0.45 * 10)
+
+    def test_minimum_length_one(self):
+        seq = np.arange(1, 4)
+        out = Crop(0.1)(seq, make_rng())
+        assert len(out) == 1
+
+    def test_full_eta_is_identity(self):
+        seq = np.arange(1, 8)
+        np.testing.assert_array_equal(Crop(1.0)(seq, make_rng()), seq)
+
+    def test_contiguous_subsequence(self):
+        seq = np.arange(1, 21)
+        out = Crop(0.5)(seq, make_rng(3))
+        start = out[0] - 1
+        np.testing.assert_array_equal(out, seq[start : start + len(out)])
+
+    def test_eta_validation(self):
+        with pytest.raises(ValueError):
+            Crop(0.0)
+        with pytest.raises(ValueError):
+            Crop(1.5)
+
+    def test_does_not_modify_input(self):
+        seq = np.arange(1, 11)
+        original = seq.copy()
+        Crop(0.5)(seq, make_rng())
+        np.testing.assert_array_equal(seq, original)
+
+    def test_empty_sequence(self):
+        out = Crop(0.5)(np.array([], dtype=np.int64), make_rng())
+        assert len(out) == 0
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            Crop(0.5)(np.zeros((2, 3), dtype=np.int64), make_rng())
+
+    @settings(max_examples=50, deadline=None)
+    @given(seq=sequences, eta=st.floats(0.05, 1.0), seed=st.integers(0, 10_000))
+    def test_property_crop_is_contiguous_slice(self, seq, eta, seed):
+        out = Crop(eta)(seq, make_rng(seed))
+        expected_len = max(1, int(np.floor(eta * len(seq))))
+        assert len(out) == expected_len
+        # out must appear as a contiguous slice of seq.
+        found = any(
+            np.array_equal(seq[s : s + len(out)], out)
+            for s in range(len(seq) - len(out) + 1)
+        )
+        assert found
+
+
+class TestMask:
+    def test_count_is_floor_gamma_n(self):
+        seq = np.arange(1, 11)
+        out = Mask(0.5, mask_token=999)(seq, make_rng())
+        assert (out == 999).sum() == 5
+
+    def test_length_preserved(self):
+        seq = np.arange(1, 8)
+        out = Mask(0.3, mask_token=99)(seq, make_rng())
+        assert len(out) == len(seq)
+
+    def test_unmasked_positions_unchanged(self):
+        seq = np.arange(1, 11)
+        out = Mask(0.4, mask_token=999)(seq, make_rng(5))
+        untouched = out != 999
+        np.testing.assert_array_equal(out[untouched], seq[untouched])
+
+    def test_gamma_zero_identity(self):
+        seq = np.arange(1, 6)
+        np.testing.assert_array_equal(Mask(0.0, mask_token=9)(seq, make_rng()), seq)
+
+    def test_gamma_one_masks_everything(self):
+        seq = np.arange(1, 6)
+        out = Mask(1.0, mask_token=9)(seq, make_rng())
+        assert (out == 9).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Mask(-0.1, mask_token=9)
+        with pytest.raises(ValueError):
+            Mask(1.1, mask_token=9)
+        with pytest.raises(ValueError):
+            Mask(0.5, mask_token=0)
+
+    def test_does_not_modify_input(self):
+        seq = np.arange(1, 11)
+        original = seq.copy()
+        Mask(0.9, mask_token=99)(seq, make_rng())
+        np.testing.assert_array_equal(seq, original)
+
+    @settings(max_examples=50, deadline=None)
+    @given(seq=sequences, gamma=st.floats(0.0, 1.0), seed=st.integers(0, 10_000))
+    def test_property_mask_count_and_positions(self, seq, gamma, seed):
+        token = 10_000
+        out = Mask(gamma, mask_token=token)(seq, make_rng(seed))
+        assert len(out) == len(seq)
+        assert (out == token).sum() == int(np.floor(gamma * len(seq)))
+        keep = out != token
+        np.testing.assert_array_equal(out[keep], seq[keep])
+
+
+class TestReorder:
+    def test_multiset_preserved(self):
+        seq = np.arange(1, 16)
+        out = Reorder(0.8)(seq, make_rng(1))
+        np.testing.assert_array_equal(np.sort(out), np.sort(seq))
+
+    def test_outside_window_unchanged(self):
+        seq = np.arange(1, 21)
+        rng = make_rng(7)
+        out = Reorder(0.3)(seq, rng)
+        window = 6  # floor(0.3 * 20)
+        # Find the shuffled window: positions where out differs from seq
+        # must all fall inside one window of that size.
+        diff = np.flatnonzero(out != seq)
+        if len(diff):
+            assert diff.max() - diff.min() < window
+
+    def test_beta_zero_identity(self):
+        seq = np.arange(1, 9)
+        np.testing.assert_array_equal(Reorder(0.0)(seq, make_rng()), seq)
+
+    def test_window_of_one_identity(self):
+        seq = np.arange(1, 11)
+        np.testing.assert_array_equal(Reorder(0.1)(seq, make_rng()), seq)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Reorder(-0.1)
+        with pytest.raises(ValueError):
+            Reorder(1.2)
+
+    def test_does_not_modify_input(self):
+        seq = np.arange(1, 21)
+        original = seq.copy()
+        Reorder(0.9)(seq, make_rng())
+        np.testing.assert_array_equal(seq, original)
+
+    @settings(max_examples=50, deadline=None)
+    @given(seq=sequences, beta=st.floats(0.0, 1.0), seed=st.integers(0, 10_000))
+    def test_property_reorder_is_permutation(self, seq, beta, seed):
+        out = Reorder(beta)(seq, make_rng(seed))
+        assert len(out) == len(seq)
+        np.testing.assert_array_equal(np.sort(out), np.sort(seq))
+
+
+class TestIdentity:
+    def test_returns_copy(self):
+        seq = np.arange(3)
+        out = Identity()(seq, make_rng())
+        np.testing.assert_array_equal(out, seq)
+        assert out is not seq
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "op",
+        [Crop(0.5), Mask(0.5, mask_token=99), Reorder(0.5)],
+        ids=["crop", "mask", "reorder"],
+    )
+    def test_same_rng_state_same_output(self, op):
+        seq = np.arange(1, 21)
+        a = op(seq, make_rng(42))
+        b = op(seq, make_rng(42))
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.data.log import InteractionLog
+from repro.data.preprocessing import SequenceDataset
+from repro.data.synthetic import SyntheticConfig, generate_log
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+def make_tiny_dataset(
+    num_users: int = 150, num_items: int = 80, seed: int = 0
+) -> SequenceDataset:
+    """A small but structured dataset that trains in seconds."""
+    config = SyntheticConfig(
+        num_users=num_users,
+        num_items=num_items,
+        num_interests=8,
+        mean_length=9.0,
+        interest_persistence=0.75,
+        seed=seed,
+    )
+    return SequenceDataset.from_log(generate_log(config), name="tiny")
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset() -> SequenceDataset:
+    return make_tiny_dataset()
+
+
+@pytest.fixture(scope="session")
+def micro_log() -> InteractionLog:
+    """A hand-written log with known 5-core behaviour."""
+    # Users 0..4 interact heavily with items 10..14 (each item reaches
+    # the 5-interaction threshold); user 9 and item 99 have too few
+    # interactions and must be filtered out.
+    users, items, times = [], [], []
+    t = 0.0
+    for user in range(5):
+        for item in (10, 11, 12, 13, 14, 10, 11):
+            users.append(user)
+            items.append(item)
+            times.append(t)
+            t += 1.0
+    users += [9, 9]
+    items += [99, 10]
+    times += [t, t + 1]
+    return InteractionLog(np.asarray(users), np.asarray(items), np.asarray(times))
+
+
+def numeric_gradient(fn, array, seed_grad, eps=1e-6):
+    """Central-difference gradient of ``sum(fn(array) * seed_grad)``."""
+    grad = np.zeros_like(array, dtype=np.float64)
+    it = np.nditer(array, flags=["multi_index"])
+    for __ in it:
+        idx = it.multi_index
+        plus = array.copy()
+        plus[idx] += eps
+        minus = array.copy()
+        minus[idx] -= eps
+        grad[idx] = ((fn(plus) * seed_grad).sum() - (fn(minus) * seed_grad).sum()) / (
+            2 * eps
+        )
+    return grad

@@ -1,0 +1,141 @@
+"""CL4SRec model: config, losses, training regimes, scoring."""
+
+import numpy as np
+import pytest
+
+from repro.core.cl4srec import CL4SRec, CL4SRecConfig
+from repro.core.trainer import ContrastivePretrainConfig, JointTrainConfig
+from repro.data.loaders import ContrastiveBatchLoader
+from repro.models.sasrec import SASRecConfig
+from repro.models.training import TrainConfig
+
+
+def small_config(**overrides):
+    base = dict(
+        sasrec=SASRecConfig(
+            dim=16,
+            train=TrainConfig(epochs=1, batch_size=32, max_length=12, seed=0),
+        ),
+        augmentations=("mask",),
+        rates=0.5,
+        pretrain=ContrastivePretrainConfig(
+            epochs=1, batch_size=32, max_length=12, seed=0
+        ),
+        joint=JointTrainConfig(epochs=1, batch_size=32, max_length=12, seed=0),
+    )
+    base.update(overrides)
+    return CL4SRecConfig(**base)
+
+
+class TestConfig:
+    def test_mode_validated(self):
+        with pytest.raises(ValueError):
+            CL4SRecConfig(mode="multitask")
+
+    def test_defaults(self):
+        config = CL4SRecConfig()
+        assert config.mode == "pretrain_finetune"
+        assert set(config.augmentations) == {"crop", "mask", "reorder"}
+
+
+class TestConstruction:
+    def test_operators_built_from_names(self, tiny_dataset):
+        model = CL4SRec(tiny_dataset, small_config(augmentations=("crop", "reorder")))
+        names = [type(op).__name__ for op in model.operators]
+        assert names == ["Crop", "Reorder"]
+
+    def test_mask_token_wired_to_dataset(self, tiny_dataset):
+        model = CL4SRec(tiny_dataset, small_config(augmentations=("mask",)))
+        assert model.operators[0].mask_token == tiny_dataset.mask_token
+
+    def test_custom_operators_accepted(self, tiny_dataset):
+        from repro.augment import Crop
+
+        model = CL4SRec(tiny_dataset, small_config(), operators=[Crop(0.3)])
+        assert len(model.operators) == 1
+
+    def test_projection_head_registered(self, tiny_dataset):
+        model = CL4SRec(tiny_dataset, small_config())
+        names = {name for name, __ in model.named_parameters()}
+        assert any(name.startswith("projection.") for name in names)
+
+
+class TestContrastiveLoss:
+    def test_loss_is_finite_scalar(self, tiny_dataset):
+        model = CL4SRec(tiny_dataset, small_config())
+        loader = ContrastiveBatchLoader(
+            tiny_dataset, model.pair_sampler, 12, 32, np.random.default_rng(0)
+        )
+        batch = next(iter(loader.epoch()))
+        loss, accuracy = model.contrastive_loss(batch)
+        assert np.isfinite(loss.item())
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_gradients_reach_encoder_and_projection(self, tiny_dataset):
+        model = CL4SRec(tiny_dataset, small_config())
+        loader = ContrastiveBatchLoader(
+            tiny_dataset, model.pair_sampler, 12, 32, np.random.default_rng(0)
+        )
+        batch = next(iter(loader.epoch()))
+        loss, __ = model.contrastive_loss(batch)
+        loss.backward()
+        assert model.projection.linear.weight.grad is not None
+        assert model.encoder.item_embedding.weight.grad is not None
+
+
+class TestFit:
+    def test_pretrain_finetune_pipeline(self, tiny_dataset):
+        model = CL4SRec(tiny_dataset, small_config())
+        history = model.fit(tiny_dataset)
+        assert model.pretrain_history is not None
+        assert len(model.pretrain_history.losses) == 1
+        assert len(history.losses) == 1
+
+    def test_skip_pretrain(self, tiny_dataset):
+        model = CL4SRec(tiny_dataset, small_config())
+        model.fit(tiny_dataset, skip_pretrain=True)
+        assert model.pretrain_history is None
+
+    def test_joint_mode(self, tiny_dataset):
+        model = CL4SRec(tiny_dataset, small_config(mode="joint"))
+        history = model.fit(tiny_dataset)
+        assert len(history.losses) == 1
+        assert model.pretrain_history is None
+
+    def test_pretraining_reduces_contrastive_loss(self, tiny_dataset):
+        config = small_config(
+            pretrain=ContrastivePretrainConfig(
+                epochs=4, batch_size=32, max_length=12, seed=0
+            )
+        )
+        model = CL4SRec(tiny_dataset, config)
+        from repro.core.trainer import pretrain_contrastive
+
+        history = pretrain_contrastive(model, tiny_dataset, config.pretrain)
+        assert history.losses[-1] < history.losses[0]
+
+    def test_fit_overrides_epochs(self, tiny_dataset):
+        model = CL4SRec(tiny_dataset, small_config())
+        history = model.fit(tiny_dataset, epochs=2)
+        assert len(history.losses) == 2
+
+
+class TestScoring:
+    def test_score_users_shape(self, tiny_dataset):
+        model = CL4SRec(tiny_dataset, small_config())
+        users = tiny_dataset.evaluation_users("test")[:5]
+        scores = model.score_users(tiny_dataset, users)
+        assert scores.shape == (5, tiny_dataset.num_items + 1)
+
+    def test_projected_scoring_shape(self, tiny_dataset):
+        model = CL4SRec(tiny_dataset, small_config())
+        users = tiny_dataset.evaluation_users("test")[:5]
+        scores = model.score_users_projected(tiny_dataset, users)
+        assert scores.shape == (5, tiny_dataset.num_items + 1)
+
+    def test_scoring_deterministic_in_eval(self, tiny_dataset):
+        model = CL4SRec(tiny_dataset, small_config())
+        users = tiny_dataset.evaluation_users("test")[:4]
+        a = model.score_users(tiny_dataset, users)
+        b = model.score_users(tiny_dataset, users)
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,137 @@
+"""NT-Xent / InfoNCE loss (Eq. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.contrastive import info_nce_loss, nt_xent
+from repro.nn.tensor import Tensor
+
+RNG = np.random.default_rng(4)
+
+
+def manual_nt_xent(a, b, temperature):
+    """Straightforward reference implementation."""
+    z = np.concatenate([a, b], axis=0)
+    z = z / np.linalg.norm(z, axis=1, keepdims=True)
+    sim = z @ z.T / temperature
+    n = len(a)
+    total = 0.0
+    for i in range(2 * n):
+        positive = i + n if i < n else i - n
+        logits = np.delete(sim[i], i)
+        pos_logit = sim[i, positive]
+        total += -(pos_logit - np.log(np.exp(logits).sum()))
+    return total / (2 * n)
+
+
+class TestValues:
+    def test_matches_reference_implementation(self):
+        a = RNG.normal(size=(5, 8))
+        b = RNG.normal(size=(5, 8))
+        for tau in (0.5, 1.0, 2.0):
+            ours = nt_xent(Tensor(a), Tensor(b), temperature=tau).item()
+            reference = manual_nt_xent(a, b, tau)
+            assert abs(ours - reference) < 1e-10
+
+    def test_aligned_pairs_lower_loss_than_random(self):
+        a = RNG.normal(size=(16, 8))
+        aligned = nt_xent(Tensor(a), Tensor(a + 0.01 * RNG.normal(size=a.shape))).item()
+        random = nt_xent(Tensor(a), Tensor(RNG.normal(size=a.shape))).item()
+        assert aligned < random
+
+    def test_perfect_alignment_approaches_lower_bound(self):
+        """With identical views and low temperature, loss → ~0 except
+        for the duplicate-view logit (its twin scores equally high)."""
+        a = RNG.normal(size=(8, 16))
+        loss = nt_xent(Tensor(a), Tensor(a), temperature=0.05).item()
+        # Positive and its duplicate tie: -log(1/2) = log 2 is the floor.
+        assert loss < np.log(2) + 0.05
+
+    def test_scale_invariance_of_views(self):
+        a = RNG.normal(size=(6, 8))
+        b = RNG.normal(size=(6, 8))
+        l1 = nt_xent(Tensor(a), Tensor(b)).item()
+        l2 = nt_xent(Tensor(a * 10), Tensor(b * 0.1)).item()
+        assert abs(l1 - l2) < 1e-10
+
+    def test_temperature_sharpens(self):
+        """Lower temperature amplifies separation for well-aligned pairs."""
+        a = RNG.normal(size=(12, 8))
+        b = a + 0.05 * RNG.normal(size=a.shape)
+        sharp = nt_xent(Tensor(a), Tensor(b), temperature=0.1).item()
+        smooth = nt_xent(Tensor(a), Tensor(b), temperature=5.0).item()
+        assert sharp < smooth
+
+
+class TestValidation:
+    def test_temperature_positive(self):
+        a = Tensor(RNG.normal(size=(4, 4)))
+        with pytest.raises(ValueError):
+            nt_xent(a, a, temperature=0.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            nt_xent(Tensor(np.zeros((4, 4))), Tensor(np.zeros((3, 4))))
+
+    def test_needs_two_pairs(self):
+        one = Tensor(RNG.normal(size=(1, 4)))
+        with pytest.raises(ValueError):
+            nt_xent(one, one)
+
+
+class TestGradients:
+    def test_gradients_flow_to_both_views(self):
+        a = Tensor(RNG.normal(size=(6, 8)), requires_grad=True)
+        b = Tensor(RNG.normal(size=(6, 8)), requires_grad=True)
+        nt_xent(a, b).backward()
+        assert a.grad is not None and np.isfinite(a.grad).all()
+        assert b.grad is not None and np.isfinite(b.grad).all()
+
+    def test_gradient_matches_numeric(self):
+        from tests.conftest import numeric_gradient
+
+        a_arr = RNG.normal(size=(3, 4))
+        b_arr = RNG.normal(size=(3, 4))
+        a = Tensor(a_arr, requires_grad=True)
+        loss = nt_xent(a, Tensor(b_arr), temperature=0.7)
+        loss.backward()
+        numeric = numeric_gradient(
+            lambda x: np.asarray(
+                nt_xent(Tensor(x), Tensor(b_arr), temperature=0.7).data
+            ),
+            a_arr,
+            np.asarray(1.0),
+        )
+        np.testing.assert_allclose(a.grad, numeric, atol=1e-6)
+
+    def test_descending_gradient_reduces_loss(self):
+        a_arr = RNG.normal(size=(8, 6))
+        b_arr = RNG.normal(size=(8, 6))
+        a = Tensor(a_arr.copy(), requires_grad=True)
+        before = nt_xent(a, Tensor(b_arr))
+        before.backward()
+        stepped = Tensor(a_arr - 0.1 * a.grad)
+        after = nt_xent(stepped, Tensor(b_arr))
+        assert after.item() < before.item()
+
+
+class TestInfoNCE:
+    def test_returns_loss_and_accuracy(self):
+        a = Tensor(RNG.normal(size=(8, 6)))
+        loss, accuracy = info_nce_loss(a, a)
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_perfect_views_high_accuracy(self):
+        a_arr = RNG.normal(size=(16, 8))
+        # Views nearly identical → each anchor's nearest other vector is
+        # its duplicate OR positive; both are acceptable matches but the
+        # metric counts only the positive, so jitter the pair slightly.
+        b_arr = a_arr + 1e-6 * RNG.normal(size=a_arr.shape)
+        __, accuracy = info_nce_loss(Tensor(a_arr), Tensor(b_arr))
+        assert accuracy >= 0.9
+
+    def test_random_views_low_accuracy(self):
+        a = Tensor(RNG.normal(size=(64, 4)))
+        b = Tensor(RNG.normal(size=(64, 4)))
+        __, accuracy = info_nce_loss(a, b)
+        assert accuracy < 0.3

@@ -1,0 +1,37 @@
+"""Projection head g(·)."""
+
+import numpy as np
+
+from repro.core.projection import ProjectionHead
+from repro.nn.tensor import Tensor
+
+
+class TestProjectionHead:
+    def test_default_keeps_dim(self):
+        head = ProjectionHead(16, rng=np.random.default_rng(0))
+        out = head(Tensor(np.zeros((4, 16))))
+        assert out.shape == (4, 16)
+
+    def test_custom_projection_dim(self):
+        head = ProjectionHead(16, projection_dim=8, rng=np.random.default_rng(0))
+        out = head(Tensor(np.zeros((4, 16))))
+        assert out.shape == (4, 8)
+
+    def test_is_linear(self):
+        """g(a x) = a g(x) - g(0)... affine: check additivity of the
+        linear part by subtracting the bias response."""
+        head = ProjectionHead(6, rng=np.random.default_rng(1))
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(1, 6))
+        y = rng.normal(size=(1, 6))
+        zero = head(Tensor(np.zeros((1, 6)))).data
+        fx = head(Tensor(x)).data - zero
+        fy = head(Tensor(y)).data - zero
+        fxy = head(Tensor(x + y)).data - zero
+        np.testing.assert_allclose(fxy, fx + fy, atol=1e-10)
+
+    def test_trainable(self):
+        head = ProjectionHead(4, rng=np.random.default_rng(0))
+        out = head(Tensor(np.ones((2, 4))))
+        out.sum().backward()
+        assert head.linear.weight.grad is not None

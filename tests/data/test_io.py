@@ -1,0 +1,132 @@
+"""CSV / JSONL log readers and writer."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data.io import read_csv_log, read_jsonl_log, write_csv_log
+from repro.data.log import InteractionLog
+from repro.data.preprocessing import SequenceDataset
+
+
+@pytest.fixture
+def csv_file(tmp_path):
+    path = tmp_path / "log.csv"
+    path.write_text(
+        "user_id,item_id,timestamp\n"
+        "alice,lipstick,100.0\n"
+        "alice,mascara,200.0\n"
+        "bob,lipstick,150.0\n"
+    )
+    return path
+
+
+class TestReadCsv:
+    def test_basic(self, csv_file):
+        log = read_csv_log(csv_file)
+        assert len(log) == 3
+        assert log.num_users == 2
+        assert log.num_items == 2
+
+    def test_string_ids_mapped_densely(self, csv_file):
+        log = read_csv_log(csv_file)
+        # alice→0, lipstick→0 (first seen), mascara→1, bob→1.
+        np.testing.assert_array_equal(log.user_ids, [0, 0, 1])
+        np.testing.assert_array_equal(log.item_ids, [0, 1, 0])
+
+    def test_timestamps_parsed(self, csv_file):
+        log = read_csv_log(csv_file)
+        np.testing.assert_array_equal(log.timestamps, [100.0, 200.0, 150.0])
+
+    def test_custom_columns(self, tmp_path):
+        path = tmp_path / "custom.csv"
+        path.write_text("u,i,t\n1,2,3.0\n1,3,4.0\n")
+        log = read_csv_log(path, user_column="u", item_column="i", timestamp_column="t")
+        assert len(log) == 2
+
+    def test_missing_column_raises(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("user_id,item_id\n1,2\n")
+        with pytest.raises(ValueError, match="timestamp"):
+            read_csv_log(path)
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            read_csv_log(path)
+
+    def test_header_only_raises(self, tmp_path):
+        path = tmp_path / "header.csv"
+        path.write_text("user_id,item_id,timestamp\n")
+        with pytest.raises(ValueError, match="no interactions"):
+            read_csv_log(path)
+
+
+class TestReadJsonl:
+    def test_basic(self, tmp_path):
+        path = tmp_path / "reviews.jsonl"
+        records = [
+            {"user_id": "u1", "item_id": "B001", "timestamp": 1000},
+            {"user_id": "u1", "item_id": "B002", "timestamp": 2000},
+            {"user_id": "u2", "item_id": "B001", "timestamp": 1500},
+        ]
+        path.write_text("\n".join(json.dumps(r) for r in records))
+        log = read_jsonl_log(path)
+        assert len(log) == 3
+        assert log.num_users == 2
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        path.write_text(
+            '{"user_id": 1, "item_id": 2, "timestamp": 3}\n\n'
+            '{"user_id": 1, "item_id": 4, "timestamp": 5}\n'
+        )
+        assert len(read_jsonl_log(path)) == 2
+
+    def test_missing_field_reports_line(self, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        path.write_text('{"user_id": 1, "timestamp": 3}\n')
+        with pytest.raises(ValueError, match=":1:"):
+            read_jsonl_log(path)
+
+    def test_custom_fields(self, tmp_path):
+        path = tmp_path / "amazon.jsonl"
+        path.write_text(
+            '{"reviewerID": "A1", "asin": "B001", "unixReviewTime": 1400000000}\n'
+            '{"reviewerID": "A1", "asin": "B002", "unixReviewTime": 1400000001}\n'
+        )
+        log = read_jsonl_log(
+            path,
+            user_field="reviewerID",
+            item_field="asin",
+            timestamp_field="unixReviewTime",
+        )
+        assert len(log) == 2
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        original = InteractionLog(
+            [0, 0, 1], [10, 11, 10], [1.0, 2.0, 3.0]
+        )
+        path = tmp_path / "out.csv"
+        write_csv_log(original, path)
+        loaded = read_csv_log(path)
+        assert len(loaded) == 3
+        np.testing.assert_array_equal(loaded.timestamps, original.timestamps)
+
+    def test_read_log_feeds_pipeline(self, tmp_path):
+        """The file path plugs into the standard preprocessing."""
+        rows = ["user_id,item_id,timestamp"]
+        t = 0
+        for user in range(6):
+            for item in (1, 2, 3, 4, 5):
+                rows.append(f"u{user},i{item},{t}")
+                t += 1
+        path = tmp_path / "pipeline.csv"
+        path.write_text("\n".join(rows))
+        dataset = SequenceDataset.from_log(read_csv_log(path))
+        assert dataset.num_users == 6
+        assert dataset.num_items == 5

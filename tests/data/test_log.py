@@ -1,0 +1,65 @@
+"""InteractionLog container."""
+
+import numpy as np
+import pytest
+
+from repro.data.log import InteractionLog
+
+
+def make_log():
+    return InteractionLog(
+        user_ids=[0, 0, 1, 1, 2],
+        item_ids=[5, 6, 5, 7, 6],
+        timestamps=[1.0, 2.0, 1.5, 2.5, 3.0],
+    )
+
+
+class TestConstruction:
+    def test_dtype_coercion(self):
+        log = make_log()
+        assert log.user_ids.dtype == np.int64
+        assert log.timestamps.dtype == np.float64
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            InteractionLog([0, 1], [5], [1.0, 2.0])
+
+    def test_len(self):
+        assert len(make_log()) == 5
+
+
+class TestStatistics:
+    def test_num_users_items(self):
+        log = make_log()
+        assert log.num_users == 3
+        assert log.num_items == 3
+
+    def test_avg_length(self):
+        assert make_log().avg_sequence_length == pytest.approx(5 / 3)
+
+    def test_density(self):
+        assert make_log().density == pytest.approx(5 / 9)
+
+    def test_empty_log(self):
+        log = InteractionLog([], [], [])
+        assert log.avg_sequence_length == 0.0
+        assert log.density == 0.0
+        assert log.num_actions == 0
+
+    def test_statistics_dict_keys(self):
+        stats = make_log().statistics()
+        assert set(stats) == {"users", "items", "actions", "avg_length", "density"}
+
+
+class TestSelect:
+    def test_mask_selection(self):
+        log = make_log()
+        sub = log.select(log.user_ids == 0)
+        assert len(sub) == 2
+        np.testing.assert_array_equal(sub.item_ids, [5, 6])
+
+    def test_select_returns_new_object(self):
+        log = make_log()
+        sub = log.select(np.ones(5, dtype=bool))
+        assert sub is not log
+        assert len(sub) == len(log)

@@ -1,0 +1,60 @@
+"""Named dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.data.registry import DATASETS, DatasetSpec, dataset_names, load_dataset
+
+
+class TestRegistry:
+    def test_four_paper_datasets(self):
+        assert dataset_names() == ["beauty", "sports", "toys", "yelp"]
+
+    def test_paper_targets_recorded(self):
+        beauty = DATASETS["beauty"]
+        assert beauty.paper_users == 22363
+        assert beauty.paper_items == 12101
+        assert beauty.paper_actions == 198502
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("netflix")
+
+    def test_config_scaling(self):
+        spec = DATASETS["beauty"]
+        full = spec.config(scale=1.0)
+        small = spec.config(scale=0.1)
+        assert small.num_users == round(full.num_users * 0.1)
+        assert small.num_items == round(full.num_items * 0.1)
+
+    def test_scale_validated(self):
+        with pytest.raises(ValueError):
+            DATASETS["beauty"].config(scale=0.0)
+        with pytest.raises(ValueError):
+            DATASETS["beauty"].config(scale=1.5)
+
+    def test_minimum_sizes_enforced(self):
+        config = DATASETS["beauty"].config(scale=0.001)
+        assert config.num_users >= 50
+        assert config.num_items >= 40
+
+    def test_load_dataset_deterministic(self):
+        a = load_dataset("toys", scale=0.02, seed=3)
+        b = load_dataset("toys", scale=0.02, seed=3)
+        assert a.num_users == b.num_users
+        for seq_a, seq_b in zip(a.train_sequences, b.train_sequences):
+            np.testing.assert_array_equal(seq_a, seq_b)
+
+    def test_dataset_flavours(self):
+        """Beauty is configured more strictly ordered than yelp."""
+        assert (
+            DATASETS["beauty"].interest_persistence
+            > DATASETS["yelp"].interest_persistence
+        )
+
+    def test_load_small_scale_has_valid_splits(self):
+        ds = load_dataset("sports", scale=0.02, seed=0)
+        assert ds.num_users > 0
+        assert ds.num_items > 0
+        users = ds.evaluation_users("test")
+        assert len(users) > 0

@@ -1,0 +1,100 @@
+"""Global temporal splits (extension protocol)."""
+
+import numpy as np
+import pytest
+
+from repro.data.log import InteractionLog
+from repro.data.splits import next_item_events, temporal_split
+
+
+def make_log(n=100, seed=0):
+    rng = np.random.default_rng(seed)
+    return InteractionLog(
+        rng.integers(0, 10, n),
+        rng.integers(1, 30, n),
+        np.sort(rng.random(n) * 1e6),
+    )
+
+
+class TestTemporalSplit:
+    def test_partition_is_complete(self):
+        log = make_log()
+        split = temporal_split(log, 0.1, 0.1)
+        assert len(split.train) + len(split.valid) + len(split.test) == len(log)
+
+    def test_time_ordering(self):
+        split = temporal_split(make_log(), 0.2, 0.2)
+        if len(split.valid):
+            assert split.train.timestamps.max() <= split.valid.timestamps.min()
+        if len(split.test):
+            assert split.valid.timestamps.max() <= split.test.timestamps.min()
+
+    def test_fractions_roughly_respected(self):
+        split = temporal_split(make_log(n=1000), 0.1, 0.2)
+        assert abs(len(split.valid) / 1000 - 0.1) < 0.05
+        assert abs(len(split.test) / 1000 - 0.2) < 0.05
+
+    def test_zero_fractions(self):
+        split = temporal_split(make_log(), 0.0, 0.5)
+        assert len(split.valid) == 0 or split.valid_cutoff == split.test_cutoff
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            temporal_split(InteractionLog([], [], []))
+        with pytest.raises(ValueError):
+            temporal_split(make_log(), 0.6, 0.5)
+        with pytest.raises(ValueError):
+            temporal_split(make_log(), -0.1, 0.1)
+
+    def test_cutoffs_recorded(self):
+        split = temporal_split(make_log(), 0.1, 0.1)
+        assert split.valid_cutoff <= split.test_cutoff
+
+
+class TestNextItemEvents:
+    def test_pairs_history_with_first_future_item(self):
+        history = InteractionLog([1, 1, 2], [10, 11, 12], [1.0, 2.0, 1.5])
+        future = InteractionLog([1, 1, 2], [13, 14, 15], [5.0, 6.0, 5.5])
+        events = next_item_events(history, future)
+        by_user = {user: (items, target) for user, items, target in events}
+        np.testing.assert_array_equal(by_user[1][0], [10, 11])
+        assert by_user[1][1] == 13  # first future item only
+        assert by_user[2][1] == 15
+
+    def test_cold_start_users_skipped(self):
+        history = InteractionLog([1], [10], [1.0])
+        future = InteractionLog([1, 9], [11, 99], [2.0, 2.0])
+        events = next_item_events(history, future)
+        assert [user for user, __, __ in events] == [1]
+
+    def test_history_is_chronological(self):
+        history = InteractionLog([1, 1, 1], [30, 10, 20], [3.0, 1.0, 2.0])
+        future = InteractionLog([1], [40], [9.0])
+        (user, items, target), = next_item_events(history, future)
+        np.testing.assert_array_equal(items, [10, 20, 30])
+
+    def test_one_event_per_user(self):
+        history = InteractionLog([1, 1], [10, 11], [1.0, 2.0])
+        future = InteractionLog([1, 1, 1], [12, 13, 14], [3.0, 4.0, 5.0])
+        events = next_item_events(history, future)
+        assert len(events) == 1
+
+
+class TestEndToEndTemporalProtocol:
+    def test_full_pipeline_with_sequential_model(self):
+        """Temporal split feeds the standard pipeline: train on the
+        pre-cutoff log, evaluate next-item events manually."""
+        from repro.data.preprocessing import SequenceDataset
+        from repro.data.synthetic import SyntheticConfig, generate_log
+        from repro.models.pop import Pop
+
+        log = generate_log(
+            SyntheticConfig(num_users=200, num_items=60, num_interests=6, seed=1)
+        )
+        split = temporal_split(log, 0.1, 0.1)
+        dataset = SequenceDataset.from_log(split.train, min_count=2)
+        model = Pop().fit(dataset)
+        # The Pop model scores items regardless of user history; just
+        # verify the protocol produces evaluable events.
+        events = next_item_events(split.train, split.test)
+        assert len(events) > 0

@@ -1,0 +1,114 @@
+"""Structural dataset diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.data.preprocessing import SequenceDataset
+from repro.data.stats import (
+    dataset_report,
+    item_popularity,
+    markov_predictability,
+    popularity_gini,
+    repeat_consumption_rate,
+    sequence_length_stats,
+)
+
+
+def make_dataset(sequences, num_items):
+    return SequenceDataset(
+        train_sequences=[np.asarray(s, dtype=np.int64) for s in sequences],
+        valid_targets=[None] * len(sequences),
+        test_targets=[None] * len(sequences),
+        num_items=num_items,
+    )
+
+
+class TestLengthStats:
+    def test_values(self):
+        ds = make_dataset([[1, 2], [1, 2, 3, 4]], num_items=4)
+        stats = sequence_length_stats(ds)
+        assert stats["mean"] == 3.0
+        assert stats["max"] == 4.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            sequence_length_stats(make_dataset([], num_items=2))
+
+
+class TestPopularity:
+    def test_counts(self):
+        ds = make_dataset([[1, 1, 2], [2, 3]], num_items=3)
+        counts = item_popularity(ds)
+        np.testing.assert_array_equal(counts, [0, 2, 2, 1])
+
+    def test_gini_uniform_is_zero(self):
+        ds = make_dataset([[1, 2, 3, 4]], num_items=4)
+        assert popularity_gini(ds) == pytest.approx(0.0, abs=1e-9)
+
+    def test_gini_concentrated_is_high(self):
+        ds = make_dataset([[1] * 50 + [2]], num_items=50)
+        assert popularity_gini(ds) > 0.9
+
+    def test_synthetic_data_is_skewed(self, tiny_dataset):
+        assert popularity_gini(tiny_dataset) > 0.2
+
+
+class TestRepeatRate:
+    def test_no_repeats(self):
+        ds = make_dataset([[1, 2, 3]], num_items=3)
+        assert repeat_consumption_rate(ds) == 0.0
+
+    def test_all_repeats_after_first(self):
+        ds = make_dataset([[1, 1, 1, 1]], num_items=1)
+        assert repeat_consumption_rate(ds) == 0.75
+
+    def test_synthetic_data_has_repeats(self, tiny_dataset):
+        rate = repeat_consumption_rate(tiny_dataset)
+        assert 0.0 < rate < 0.9
+
+
+class TestMarkovPredictability:
+    def test_deterministic_chain_is_perfect(self):
+        ds = make_dataset([[1, 2, 3, 1, 2, 3, 1, 2, 3]], num_items=3)
+        assert markov_predictability(ds, top_k=1) == 1.0
+
+    def test_random_data_near_chance(self):
+        rng = np.random.default_rng(0)
+        sequences = [rng.integers(1, 101, size=20) for __ in range(100)]
+        ds = make_dataset(sequences, num_items=100)
+        assert markov_predictability(ds, top_k=1) < 0.25
+
+    def test_structured_beats_random(self, tiny_dataset):
+        """The generator's interest persistence must leave a first-order
+        Markov signal far above chance."""
+        chance = 10.0 / tiny_dataset.num_items
+        assert markov_predictability(tiny_dataset, top_k=10) > 3 * chance
+
+    def test_top_k_monotone(self, tiny_dataset):
+        assert markov_predictability(tiny_dataset, 10) >= markov_predictability(
+            tiny_dataset, 1
+        )
+
+    def test_no_transitions_raises(self):
+        with pytest.raises(ValueError):
+            markov_predictability(make_dataset([[1]], num_items=1))
+
+
+class TestReport:
+    def test_keys(self, tiny_dataset):
+        report = dataset_report(tiny_dataset)
+        assert set(report) == {
+            "users",
+            "items",
+            "mean_length",
+            "median_length",
+            "popularity_gini",
+            "repeat_rate",
+            "markov_top1",
+            "markov_top10",
+        }
+
+    def test_matches_dataset_shape(self, tiny_dataset):
+        report = dataset_report(tiny_dataset)
+        assert report["users"] == tiny_dataset.num_users
+        assert report["items"] == tiny_dataset.num_items

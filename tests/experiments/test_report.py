@@ -1,0 +1,46 @@
+"""Artifact report aggregator."""
+
+import pytest
+
+from repro.experiments.report import SECTION_ORDER, build_report
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    (tmp_path / "table1.md").write_text("### Table 1\n| a |\n")
+    (tmp_path / "figure4_beauty.md").write_text("### Figure 4\n| b |\n")
+    (tmp_path / "custom_extra.md").write_text("### Custom\n| c |\n")
+    (tmp_path / "notes.txt").write_text("not markdown")
+    return tmp_path
+
+
+class TestBuildReport:
+    def test_orders_known_sections_first(self, results_dir):
+        report = build_report(results_dir)
+        assert report.included[0] == "table1"
+        assert report.included[1] == "figure4_beauty"
+        assert report.included[-1] == "custom_extra"
+
+    def test_content_stitched(self, results_dir):
+        report = build_report(results_dir)
+        assert "### Table 1" in report.markdown
+        assert "### Custom" in report.markdown
+        assert "not markdown" not in report.markdown
+
+    def test_missing_sections_listed(self, results_dir):
+        report = build_report(results_dir)
+        assert "table2" in report.missing
+        assert "Missing artifacts" in report.markdown
+
+    def test_write(self, results_dir, tmp_path):
+        report = build_report(results_dir)
+        out = tmp_path / "REPORT.md"
+        report.write(out)
+        assert out.read_text().startswith("# CL4SRec reproduction")
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            build_report(tmp_path / "ghost")
+
+    def test_section_order_has_no_duplicates(self):
+        assert len(SECTION_ORDER) == len(set(SECTION_ORDER))

@@ -1,0 +1,162 @@
+"""Experiment runners, at micro scale (fast smoke-level correctness)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_joint_vs_pretrain,
+    run_projection_ablation,
+    run_temperature_ablation,
+)
+from repro.experiments.config import ExperimentScale
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+
+MICRO = ExperimentScale(
+    dataset_scale=0.01,
+    dim=16,
+    max_length=12,
+    epochs=1,
+    pretrain_epochs=1,
+    batch_size=64,
+    max_eval_users=80,
+    seed=0,
+)
+
+
+class TestTable1:
+    def test_all_datasets_measured(self):
+        result = run_table1(scale=0.02)
+        assert set(result.measured) == {"beauty", "sports", "toys", "yelp"}
+        for stats in result.measured.values():
+            assert stats["users"] > 0
+            assert stats["actions"] > stats["users"]
+
+    def test_markdown_contains_paper_columns(self):
+        result = run_table1(scale=0.02)
+        md = result.to_markdown()
+        assert "paper #users" in md
+        assert "beauty" in md
+
+    def test_relative_error_computation(self):
+        result = run_table1(scale=0.02)
+        # At 2% scale users are far from paper targets — error ≈ 98%.
+        assert result.relative_error("beauty", "users") > 0.9
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table2(
+            datasets=("beauty",),
+            models=("Pop", "SASRec", "CL4SRec"),
+            scale=MICRO,
+        )
+
+    def test_structure(self, result):
+        assert set(result.metrics) == {"beauty"}
+        assert set(result.metrics["beauty"]) == {"Pop", "SASRec", "CL4SRec"}
+        for metrics in result.metrics["beauty"].values():
+            assert "HR@10" in metrics and "NDCG@20" in metrics
+
+    def test_improvement_column(self, result):
+        value = result.improvement_over("beauty", "SASRec", "HR@10")
+        assert isinstance(value, float)
+
+    def test_markdown(self, result):
+        md = result.to_markdown()
+        assert "Table 2 — beauty" in md
+        assert "Improv.#1" in md
+
+
+class TestFigure4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure4(
+            dataset_name="beauty",
+            operators=("crop",),
+            rates=(0.3, 0.7),
+            scale=MICRO,
+        )
+
+    def test_series_structure(self, result):
+        assert set(result.series) == {"crop"}
+        assert set(result.series["crop"]) == {0.3, 0.7}
+
+    def test_baseline_present(self, result):
+        assert "HR@10" in result.baseline
+
+    def test_best_rate(self, result):
+        assert result.best_rate("crop") in (0.3, 0.7)
+
+    def test_beats_baseline_fraction_range(self, result):
+        fraction = result.beats_baseline_fraction("crop")
+        assert 0.0 <= fraction <= 1.0
+
+    def test_markdown(self, result):
+        md = result.to_markdown()
+        assert "Figure 4" in md and "rate=0.3" in md
+
+
+class TestFigure5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure5(dataset_name="beauty", scale=MICRO)
+
+    def test_all_combinations_present(self, result):
+        assert set(result.results) == {
+            "crop",
+            "mask",
+            "reorder",
+            "crop+mask",
+            "crop+reorder",
+            "mask+reorder",
+        }
+
+    def test_best_single_and_composite(self, result):
+        single_label, __ = result.best_single()
+        composite_label, __ = result.best_composite()
+        assert "+" not in single_label
+        assert "+" in composite_label
+
+    def test_markdown(self, result):
+        assert "composition" in result.to_markdown()
+
+
+class TestFigure6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure6(
+            dataset_name="beauty", fractions=(0.5, 1.0), scale=MICRO
+        )
+
+    def test_series_structure(self, result):
+        assert set(result.series) == {"SASRec", "CL4SRec"}
+        assert set(result.series["SASRec"]) == {0.5, 1.0}
+
+    def test_degradation_finite(self, result):
+        assert isinstance(result.degradation("SASRec"), float)
+
+    def test_markdown(self, result):
+        assert "Figure 6" in result.to_markdown()
+
+
+class TestAblations:
+    def test_projection(self):
+        result = run_projection_ablation("beauty", scale=MICRO)
+        assert set(result.variants) == {"discard g(·) (paper)", "keep g(·)"}
+        assert "Ablation" in result.to_markdown()
+
+    def test_temperature(self):
+        result = run_temperature_ablation(
+            "beauty", temperatures=(0.5, 2.0), scale=MICRO
+        )
+        assert set(result.variants) == {"tau=0.5", "tau=2.0"}
+        label, value = result.best()
+        assert label in result.variants
+
+    def test_joint_vs_pretrain(self):
+        result = run_joint_vs_pretrain("beauty", scale=MICRO)
+        assert set(result.variants) == {"pretrain_finetune", "joint"}

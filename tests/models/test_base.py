@@ -1,0 +1,64 @@
+"""Recommender base-class conveniences."""
+
+import numpy as np
+import pytest
+
+from repro.models.pop import Pop
+
+
+class TestRecommend:
+    def test_returns_k_items(self, tiny_dataset):
+        pop = Pop().fit(tiny_dataset)
+        items = pop.recommend(tiny_dataset, user=0, k=7)
+        assert len(items) == 7
+        assert len(set(items.tolist())) == 7
+
+    def test_excludes_seen_by_default(self, tiny_dataset):
+        pop = Pop().fit(tiny_dataset)
+        items = pop.recommend(tiny_dataset, user=0, k=10)
+        seen = set(tiny_dataset.seen_items(0).tolist())
+        assert not (set(items.tolist()) & seen)
+
+    def test_include_seen_option(self, tiny_dataset):
+        pop = Pop().fit(tiny_dataset)
+        with_seen = pop.recommend(tiny_dataset, user=0, k=10, exclude_seen=False)
+        # Pop's global top item is usually in most users' histories, so
+        # the two lists generally differ; at minimum they are valid ids.
+        assert with_seen.min() >= 1
+
+    def test_padding_never_recommended(self, tiny_dataset):
+        pop = Pop().fit(tiny_dataset)
+        items = pop.recommend(tiny_dataset, user=0, k=tiny_dataset.num_items)
+        assert 0 not in items
+
+    def test_k_clamped_to_catalogue(self, tiny_dataset):
+        pop = Pop().fit(tiny_dataset)
+        items = pop.recommend(tiny_dataset, user=0, k=10 ** 6)
+        assert len(items) <= tiny_dataset.num_items
+
+    def test_invalid_k(self, tiny_dataset):
+        pop = Pop().fit(tiny_dataset)
+        with pytest.raises(ValueError):
+            pop.recommend(tiny_dataset, user=0, k=0)
+
+    def test_descending_score_order(self, tiny_dataset):
+        pop = Pop().fit(tiny_dataset)
+        items = pop.recommend(tiny_dataset, user=0, k=5)
+        scores = pop.score_users(tiny_dataset, np.array([0]))[0]
+        values = scores[items]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_works_for_sequential_model(self, tiny_dataset):
+        from repro.models.sasrec import SASRec, SASRecConfig
+        from repro.models.training import TrainConfig
+
+        model = SASRec(
+            tiny_dataset,
+            SASRecConfig(
+                dim=16,
+                train=TrainConfig(epochs=1, batch_size=32, max_length=12, seed=0),
+            ),
+        )
+        model.fit(tiny_dataset)
+        items = model.recommend(tiny_dataset, user=3, k=5)
+        assert len(items) == 5

@@ -1,0 +1,108 @@
+"""BERT4Rec extension baseline."""
+
+import numpy as np
+import pytest
+
+from repro.eval.evaluator import evaluate_model
+from repro.models.bert4rec import BERT4Rec, BERT4RecConfig
+
+
+def small_config(**overrides):
+    base = dict(
+        dim=16,
+        epochs=2,
+        batch_size=32,
+        max_length=12,
+        mask_probability=0.3,
+        seed=0,
+    )
+    base.update(overrides)
+    return BERT4RecConfig(**base)
+
+
+class TestClozeBatches:
+    def test_masked_positions_carry_labels(self, tiny_dataset):
+        model = BERT4Rec(tiny_dataset, small_config())
+        sequences = tiny_dataset.train_sequences[:8]
+        inputs, labels = model._make_cloze_batch(
+            sequences, np.random.default_rng(0)
+        )
+        masked = inputs == tiny_dataset.mask_token
+        assert masked.any()
+        # Labels exist exactly at masked positions.
+        np.testing.assert_array_equal(labels > 0, masked)
+
+    def test_at_least_one_mask_per_sequence(self, tiny_dataset):
+        model = BERT4Rec(tiny_dataset, small_config(mask_probability=0.01))
+        sequences = [s for s in tiny_dataset.train_sequences[:16] if len(s) >= 2]
+        inputs, labels = model._make_cloze_batch(
+            sequences, np.random.default_rng(0)
+        )
+        assert ((labels > 0).sum(axis=1) >= 1).all()
+
+    def test_unmasked_positions_unchanged(self, tiny_dataset):
+        from repro.data.loaders import pad_left
+
+        model = BERT4Rec(tiny_dataset, small_config())
+        sequences = tiny_dataset.train_sequences[:4]
+        inputs, labels = model._make_cloze_batch(
+            sequences, np.random.default_rng(1)
+        )
+        for row, sequence in enumerate(sequences):
+            padded = pad_left(sequence, 12)
+            keep = (inputs[row] != tiny_dataset.mask_token)
+            np.testing.assert_array_equal(inputs[row][keep], padded[keep])
+
+
+class TestTraining:
+    def test_encoder_is_bidirectional(self, tiny_dataset):
+        model = BERT4Rec(tiny_dataset, small_config())
+        assert model.encoder.causal is False
+
+    def test_loss_decreases(self, tiny_dataset):
+        model = BERT4Rec(tiny_dataset, small_config(epochs=4))
+        history = model.fit(tiny_dataset)
+        assert history.losses[-1] < history.losses[0]
+
+    def test_cloze_loss_finite_and_differentiable(self, tiny_dataset):
+        model = BERT4Rec(tiny_dataset, small_config())
+        inputs, labels = model._make_cloze_batch(
+            tiny_dataset.train_sequences[:8], np.random.default_rng(0)
+        )
+        loss = model.cloze_loss(inputs, labels)
+        assert np.isfinite(loss.item())
+        loss.backward()
+        assert model.encoder.item_embedding.weight.grad is not None
+
+    def test_no_masks_rejected(self, tiny_dataset):
+        model = BERT4Rec(tiny_dataset, small_config())
+        inputs = np.ones((2, 12), dtype=np.int64)
+        labels = np.zeros((2, 12), dtype=np.int64)
+        with pytest.raises(ValueError):
+            model.cloze_loss(inputs, labels)
+
+
+class TestInference:
+    def test_score_shape(self, tiny_dataset):
+        model = BERT4Rec(tiny_dataset, small_config())
+        model.fit(tiny_dataset)
+        users = tiny_dataset.evaluation_users("test")[:4]
+        scores = model.score_users(tiny_dataset, users)
+        assert scores.shape == (4, tiny_dataset.num_items + 1)
+
+    def test_beats_chance(self, tiny_dataset):
+        model = BERT4Rec(tiny_dataset, small_config(epochs=5))
+        model.fit(tiny_dataset)
+        result = evaluate_model(model, tiny_dataset)
+        chance = 10.0 / tiny_dataset.num_items
+        assert result["HR@10"] > 2 * chance
+
+    def test_deterministic(self, tiny_dataset):
+        def run():
+            model = BERT4Rec(tiny_dataset, small_config(epochs=1))
+            model.fit(tiny_dataset)
+            return model.score_users(
+                tiny_dataset, tiny_dataset.evaluation_users("test")[:2]
+            )
+
+        np.testing.assert_array_equal(run(), run())

@@ -1,0 +1,167 @@
+"""SASRec: encoder behaviour, loss, training, scoring."""
+
+import numpy as np
+import pytest
+
+from repro.data.loaders import NextItemBatchLoader
+from repro.eval.evaluator import evaluate_model
+from repro.models.encoder import SASRecEncoder
+from repro.models.losses import masked_next_item_bce
+from repro.models.sasrec import SASRec, SASRecConfig
+from repro.models.training import TrainConfig
+from repro.nn.tensor import Tensor
+
+
+def small_config(**train_overrides):
+    train = dict(epochs=2, batch_size=32, max_length=12, seed=0)
+    train.update(train_overrides)
+    return SASRecConfig(dim=16, train=TrainConfig(**train))
+
+
+class TestEncoder:
+    def make(self, vocab=50, length=10, dim=16):
+        return SASRecEncoder(
+            vocab, length, dim=dim, rng=np.random.default_rng(0)
+        )
+
+    def test_hidden_shape(self):
+        enc = self.make()
+        out = enc(np.zeros((4, 10), dtype=np.int64))
+        assert out.shape == (4, 10, 16)
+
+    def test_wrong_length_rejected(self):
+        enc = self.make(length=10)
+        with pytest.raises(ValueError):
+            enc(np.zeros((2, 8), dtype=np.int64))
+
+    def test_user_representation_is_last_position(self):
+        enc = self.make()
+        enc.eval()
+        ids = np.random.default_rng(1).integers(1, 50, size=(3, 10))
+        hidden = enc(ids).data
+        rep = enc.user_representation(ids).data
+        np.testing.assert_allclose(rep, hidden[:, -1, :])
+
+    def test_truncated_normal_init_bounds(self):
+        enc = self.make()
+        assert np.abs(enc.item_embedding.weight.data).max() <= 0.01
+        assert np.abs(enc.position_embedding.weight.data).max() <= 0.01
+
+    def test_causality_no_future_leakage(self):
+        """Changing the last item must not change earlier hidden states."""
+        enc = self.make()
+        enc.eval()
+        rng = np.random.default_rng(2)
+        ids = rng.integers(1, 50, size=(1, 10))
+        base = enc(ids).data.copy()
+        ids2 = ids.copy()
+        ids2[0, -1] = (ids2[0, -1] % 49) + 1
+        out = enc(ids2).data
+        np.testing.assert_allclose(out[0, :-1], base[0, :-1], atol=1e-10)
+
+    def test_padding_changes_nothing_for_real_positions(self):
+        """The same sequence with different left-padding amounts must
+        give the same last-position representation shape-wise sane."""
+        enc = self.make()
+        enc.eval()
+        ids = np.zeros((1, 10), dtype=np.int64)
+        ids[0, -3:] = [5, 6, 7]
+        rep = enc.user_representation(ids).data
+        assert np.isfinite(rep).all()
+
+    def test_score_all_items_shape(self):
+        enc = self.make(vocab=50)
+        rep = enc.user_representation(np.zeros((2, 10), dtype=np.int64))
+        scores = enc.score_all_items(rep, num_items=48)
+        assert scores.shape == (2, 49)
+
+    def test_position_embedding_matters(self):
+        """Same items in a different order → different representation."""
+        enc = self.make()
+        enc.eval()
+        a = np.zeros((1, 10), dtype=np.int64)
+        b = np.zeros((1, 10), dtype=np.int64)
+        a[0, -3:] = [5, 6, 7]
+        b[0, -3:] = [7, 6, 5]
+        rep_a = enc.user_representation(a).data
+        rep_b = enc.user_representation(b).data
+        assert not np.allclose(rep_a, rep_b)
+
+
+class TestMaskedLoss:
+    def test_padding_excluded(self):
+        pos = Tensor(np.array([[10.0, 0.0], [0.0, 10.0]]))
+        neg = Tensor(np.array([[-10.0, 0.0], [0.0, -10.0]]))
+        full = masked_next_item_bce(pos, neg, np.ones((2, 2)))
+        # Mask out the "0.0" cells — remaining logits are perfect.
+        masked = masked_next_item_bce(
+            pos, neg, np.array([[1.0, 0.0], [0.0, 1.0]])
+        )
+        assert masked.item() < full.item()
+        assert masked.item() < 1e-3
+
+    def test_all_zero_mask_rejected(self):
+        pos = Tensor(np.zeros((2, 2)))
+        neg = Tensor(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            masked_next_item_bce(pos, neg, np.zeros((2, 2)))
+
+    def test_random_logits_near_two_log_two(self):
+        rng = np.random.default_rng(0)
+        pos = Tensor(rng.normal(size=(8, 8)) * 0.01)
+        neg = Tensor(rng.normal(size=(8, 8)) * 0.01)
+        loss = masked_next_item_bce(pos, neg, np.ones((8, 8)))
+        assert abs(loss.item() - 2 * np.log(2)) < 0.02
+
+
+class TestSASRecTraining:
+    def test_loss_decreases(self, tiny_dataset):
+        model = SASRec(tiny_dataset, small_config(epochs=4))
+        history = model.fit(tiny_dataset)
+        assert history.losses[-1] < history.losses[0]
+
+    def test_score_users_shape(self, tiny_dataset):
+        model = SASRec(tiny_dataset, small_config())
+        model.fit(tiny_dataset)
+        users = tiny_dataset.evaluation_users("test")[:6]
+        scores = model.score_users(tiny_dataset, users)
+        assert scores.shape == (6, tiny_dataset.num_items + 1)
+
+    def test_beats_chance(self, tiny_dataset):
+        model = SASRec(tiny_dataset, small_config(epochs=5))
+        model.fit(tiny_dataset)
+        result = evaluate_model(model, tiny_dataset)
+        chance = 10.0 / tiny_dataset.num_items
+        assert result["HR@10"] > 2 * chance
+
+    def test_deterministic_training(self, tiny_dataset):
+        def run():
+            model = SASRec(tiny_dataset, small_config())
+            model.fit(tiny_dataset)
+            return model.score_users(
+                tiny_dataset, tiny_dataset.evaluation_users("test")[:3]
+            )
+
+        np.testing.assert_array_equal(run(), run())
+
+    def test_early_stopping_restores_best(self, tiny_dataset):
+        model = SASRec(
+            tiny_dataset,
+            small_config(epochs=6, eval_every=1, patience=1, max_eval_users=100),
+        )
+        history = model.fit(tiny_dataset)
+        assert len(history.valid_scores) >= 1
+        # If stopped early, a best epoch must have been recorded.
+        if history.stopped_early:
+            assert history.best_epoch >= 0
+
+    def test_sequence_loss_uses_negatives(self, tiny_dataset):
+        model = SASRec(tiny_dataset, small_config())
+        loader = NextItemBatchLoader(
+            tiny_dataset, 12, 32, np.random.default_rng(0)
+        )
+        batch = next(iter(loader.epoch()))
+        loss = model.sequence_loss(batch)
+        assert np.isfinite(loss.item())
+        loss.backward()
+        assert model.encoder.item_embedding.weight.grad is not None

@@ -1,0 +1,125 @@
+"""Full training-state checkpoints."""
+
+import numpy as np
+import pytest
+
+from repro.nn.checkpoint import load_checkpoint, save_checkpoint
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.nn.optim import SGD, Adam
+from repro.nn.tensor import Tensor
+
+
+class Net(Module):
+    def __init__(self, seed=0):
+        super().__init__()
+        self.layer = Linear(4, 2, rng=np.random.default_rng(seed))
+
+    def forward(self, x):
+        return self.layer(x)
+
+
+def train_steps(net, optimizer, steps, seed=0):
+    rng = np.random.default_rng(seed)
+    for __ in range(steps):
+        x = rng.normal(size=(8, 4))
+        loss = (net(Tensor(x)) ** 2).mean()
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+
+
+class TestCheckpointRoundTrip:
+    def test_model_only(self, tmp_path):
+        net = Net(seed=1)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, net)
+        other = Net(seed=99)
+        load_checkpoint(path, other)
+        for (na, pa), (nb, pb) in zip(
+            net.named_parameters(), other.named_parameters()
+        ):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_adam_state_restored(self, tmp_path):
+        net = Net()
+        optimizer = Adam(net.parameters(), lr=0.01)
+        train_steps(net, optimizer, 5)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, net, optimizer)
+
+        fresh_net = Net(seed=7)
+        fresh_opt = Adam(fresh_net.parameters(), lr=0.5)
+        load_checkpoint(path, fresh_net, fresh_opt)
+        assert fresh_opt.lr == 0.01
+        assert fresh_opt._step_count == optimizer._step_count
+        for a, b in zip(optimizer._m, fresh_opt._m):
+            np.testing.assert_array_equal(a, b)
+
+    def test_resume_equals_uninterrupted(self, tmp_path):
+        """Train 10 steps straight vs. 5 + checkpoint + 5 — identical."""
+        straight = Net()
+        opt_straight = Adam(straight.parameters(), lr=0.05)
+        train_steps(straight, opt_straight, 10, seed=3)
+
+        first = Net()
+        opt_first = Adam(first.parameters(), lr=0.05)
+        rng = np.random.default_rng(3)
+        for __ in range(5):
+            x = rng.normal(size=(8, 4))
+            loss = (first(Tensor(x)) ** 2).mean()
+            opt_first.zero_grad()
+            loss.backward()
+            opt_first.step()
+        path = tmp_path / "mid.npz"
+        save_checkpoint(path, first, opt_first)
+
+        resumed = Net(seed=42)
+        opt_resumed = Adam(resumed.parameters(), lr=0.05)
+        load_checkpoint(path, resumed, opt_resumed)
+        for __ in range(5):
+            x = rng.normal(size=(8, 4))
+            loss = (resumed(Tensor(x)) ** 2).mean()
+            opt_resumed.zero_grad()
+            loss.backward()
+            opt_resumed.step()
+
+        for (na, pa), (nb, pb) in zip(
+            straight.named_parameters(), resumed.named_parameters()
+        ):
+            np.testing.assert_allclose(pa.data, pb.data, atol=1e-12)
+
+    def test_sgd_velocity_restored(self, tmp_path):
+        net = Net()
+        optimizer = SGD(net.parameters(), lr=0.01, momentum=0.9)
+        train_steps(net, optimizer, 3)
+        path = tmp_path / "sgd.npz"
+        save_checkpoint(path, net, optimizer)
+        fresh = Net(seed=5)
+        fresh_opt = SGD(fresh.parameters(), lr=0.5, momentum=0.9)
+        load_checkpoint(path, fresh, fresh_opt)
+        for a, b in zip(optimizer._velocity, fresh_opt._velocity):
+            np.testing.assert_array_equal(a, b)
+
+    def test_extras_round_trip(self, tmp_path):
+        net = Net()
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, net, extra={"epoch": 7, "best_hr10": 0.42})
+        extras = load_checkpoint(path, Net())
+        assert extras == {"epoch": 7.0, "best_hr10": 0.42}
+
+    def test_missing_optimizer_state_raises(self, tmp_path):
+        net = Net()
+        path = tmp_path / "no_opt.npz"
+        save_checkpoint(path, net)
+        with pytest.raises(ValueError):
+            load_checkpoint(path, Net(), Adam(Net().parameters(), lr=0.1))
+
+    def test_kind_mismatch_raises(self, tmp_path):
+        net = Net()
+        sgd = SGD(net.parameters(), lr=0.1)
+        path = tmp_path / "sgd.npz"
+        save_checkpoint(path, net, sgd)
+        adam_net = Net()
+        with pytest.raises(ValueError):
+            load_checkpoint(path, adam_net, Adam(adam_net.parameters(), lr=0.1))

@@ -1,0 +1,161 @@
+"""Learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.nn.optim import Adam
+from repro.nn.schedules import (
+    ConstantSchedule,
+    CosineSchedule,
+    StepDecaySchedule,
+    WarmupLinearSchedule,
+)
+
+
+def make_optimizer(lr=1.0):
+    return Adam([Parameter(np.zeros(1))], lr=lr)
+
+
+class TestWarmupLinear:
+    def test_ramps_up_during_warmup(self):
+        opt = make_optimizer()
+        sched = WarmupLinearSchedule(opt, warmup_steps=10, total_steps=100)
+        lrs = []
+        for __ in range(10):
+            sched.step()
+            lrs.append(opt.lr)
+        assert lrs[0] == pytest.approx(0.1)
+        assert lrs[-1] == pytest.approx(1.0)
+        assert all(a < b for a, b in zip(lrs, lrs[1:]))
+
+    def test_decays_after_warmup(self):
+        opt = make_optimizer()
+        sched = WarmupLinearSchedule(
+            opt, warmup_steps=5, total_steps=15, final_factor=0.0
+        )
+        for __ in range(15):
+            sched.step()
+        assert opt.lr == pytest.approx(0.0)
+
+    def test_floor_respected(self):
+        opt = make_optimizer()
+        sched = WarmupLinearSchedule(
+            opt, warmup_steps=2, total_steps=10, final_factor=0.25
+        )
+        for __ in range(50):
+            sched.step()
+        assert opt.lr == pytest.approx(0.25)
+
+    def test_zero_warmup_is_pure_decay(self):
+        opt = make_optimizer()
+        sched = WarmupLinearSchedule(opt, warmup_steps=0, total_steps=10)
+        sched.step()
+        assert opt.lr < 1.0
+
+    def test_validation(self):
+        opt = make_optimizer()
+        with pytest.raises(ValueError):
+            WarmupLinearSchedule(opt, warmup_steps=10, total_steps=10)
+        with pytest.raises(ValueError):
+            WarmupLinearSchedule(opt, warmup_steps=-1, total_steps=10)
+        with pytest.raises(ValueError):
+            WarmupLinearSchedule(opt, 1, 10, final_factor=2.0)
+
+
+class TestCosine:
+    def test_starts_near_peak_ends_at_floor(self):
+        opt = make_optimizer()
+        sched = CosineSchedule(opt, total_steps=100, final_factor=0.1)
+        sched.step()
+        first = opt.lr
+        for __ in range(99):
+            sched.step()
+        assert first > 0.9
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_monotone_decreasing_without_warmup(self):
+        opt = make_optimizer()
+        sched = CosineSchedule(opt, total_steps=50)
+        lrs = []
+        for __ in range(50):
+            sched.step()
+            lrs.append(opt.lr)
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_halfway_is_midpoint(self):
+        opt = make_optimizer()
+        sched = CosineSchedule(opt, total_steps=100, final_factor=0.0)
+        for __ in range(50):
+            sched.step()
+        assert opt.lr == pytest.approx(0.5, abs=0.02)
+
+    def test_warmup_supported(self):
+        opt = make_optimizer()
+        sched = CosineSchedule(opt, total_steps=20, warmup_steps=5)
+        sched.step()
+        assert opt.lr == pytest.approx(0.2)
+
+    def test_clamps_after_total(self):
+        opt = make_optimizer()
+        sched = CosineSchedule(opt, total_steps=10, final_factor=0.3)
+        for __ in range(100):
+            sched.step()
+        assert opt.lr == pytest.approx(0.3)
+
+
+class TestStepDecay:
+    def test_decays_at_boundaries(self):
+        opt = make_optimizer()
+        sched = StepDecaySchedule(opt, step_size=3, gamma=0.5)
+        lrs = []
+        for __ in range(9):
+            sched.step()
+            lrs.append(round(opt.lr, 6))
+        assert lrs == [1.0, 1.0, 0.5, 0.5, 0.5, 0.25, 0.25, 0.25, 0.125]
+
+    def test_validation(self):
+        opt = make_optimizer()
+        with pytest.raises(ValueError):
+            StepDecaySchedule(opt, step_size=0)
+        with pytest.raises(ValueError):
+            StepDecaySchedule(opt, step_size=3, gamma=0.0)
+
+
+class TestConstant:
+    def test_never_changes(self):
+        opt = make_optimizer(lr=0.7)
+        sched = ConstantSchedule(opt)
+        for __ in range(20):
+            sched.step()
+        assert opt.lr == 0.7
+        assert sched.current_lr == 0.7
+
+
+class TestDropInCompatibility:
+    def test_schedules_work_in_training_loop(self, tiny_dataset):
+        """Any schedule can replace LinearDecaySchedule in a real loop."""
+        from repro.data.loaders import NextItemBatchLoader
+        from repro.models.sasrec import SASRec, SASRecConfig
+        from repro.models.training import TrainConfig
+        from repro.nn.optim import Adam as RealAdam
+
+        model = SASRec(
+            tiny_dataset,
+            SASRecConfig(
+                dim=16,
+                train=TrainConfig(epochs=1, batch_size=32, max_length=12, seed=0),
+            ),
+        )
+        loader = NextItemBatchLoader(tiny_dataset, 12, 32, np.random.default_rng(0))
+        optimizer = RealAdam(model.parameters(), lr=1e-3)
+        schedule = CosineSchedule(optimizer, total_steps=loader.num_batches)
+        losses = []
+        for batch in loader.epoch():
+            loss = model.sequence_loss(batch)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            schedule.step()
+            losses.append(loss.item())
+        assert all(np.isfinite(losses))

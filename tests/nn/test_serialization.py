@@ -1,0 +1,57 @@
+"""State-dict persistence."""
+
+import numpy as np
+
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.nn.serialization import load_state_dict, save_state_dict
+
+
+class TwoLayer(Module):
+    def __init__(self, seed=0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.first = Linear(4, 8, rng=rng)
+        self.second = Linear(8, 2, rng=rng)
+
+    def forward(self, x):
+        return self.second(self.first(x))
+
+
+class TestSerialization:
+    def test_round_trip(self, tmp_path):
+        model = TwoLayer(seed=1)
+        path = tmp_path / "model.npz"
+        save_state_dict(model.state_dict(), path)
+        loaded = load_state_dict(path)
+        assert set(loaded) == set(model.state_dict())
+        for name, values in model.state_dict().items():
+            np.testing.assert_array_equal(loaded[name], values)
+
+    def test_load_into_fresh_model(self, tmp_path):
+        source = TwoLayer(seed=1)
+        path = tmp_path / "model.npz"
+        save_state_dict(source.state_dict(), path)
+        target = TwoLayer(seed=99)  # different init
+        target.load_state_dict(load_state_dict(path))
+        from repro.nn.tensor import Tensor
+
+        x = Tensor(np.random.default_rng(0).normal(size=(3, 4)))
+        np.testing.assert_array_equal(source(x).data, target(x).data)
+
+    def test_dotted_names_preserved(self, tmp_path):
+        model = TwoLayer()
+        path = tmp_path / "model.npz"
+        save_state_dict(model.state_dict(), path)
+        loaded = load_state_dict(path)
+        assert "first.weight" in loaded
+        assert "second.bias" in loaded
+
+    def test_loaded_arrays_are_copies(self, tmp_path):
+        model = TwoLayer()
+        path = tmp_path / "model.npz"
+        save_state_dict(model.state_dict(), path)
+        a = load_state_dict(path)
+        b = load_state_dict(path)
+        a["first.weight"][:] = 0.0
+        assert not np.array_equal(a["first.weight"], b["first.weight"])

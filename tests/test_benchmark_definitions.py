@@ -1,0 +1,81 @@
+"""Static checks over the benchmark suite itself.
+
+The benchmarks train for minutes each, so CI for them is manual; these
+tests keep the *definitions* from bit-rotting: every bench module
+imports, uses a valid scale, asserts something, and saves its artifact
+under a name the report aggregator knows.
+"""
+
+import ast
+import importlib
+import pathlib
+
+import pytest
+
+BENCH_DIR = pathlib.Path(__file__).parent.parent / "benchmarks"
+BENCH_MODULES = sorted(
+    path.stem for path in BENCH_DIR.glob("test_*.py")
+)
+
+
+@pytest.mark.parametrize("module_name", BENCH_MODULES)
+class TestBenchmarkDefinitions:
+    def _load(self, module_name):
+        return importlib.import_module(f"benchmarks.{module_name}")
+
+    def _source(self, module_name):
+        return (BENCH_DIR / f"{module_name}.py").read_text()
+
+    def test_imports(self, module_name):
+        self._load(module_name)
+
+    def test_has_docstring_referencing_paper_artifact(self, module_name):
+        module = self._load(module_name)
+        assert module.__doc__, module_name
+        assert "E-" in module.__doc__, (
+            f"{module_name}: docstring should name its experiment id (E-...)"
+        )
+
+    def test_contains_assertions(self, module_name):
+        tree = ast.parse(self._source(module_name))
+        asserts = [n for n in ast.walk(tree) if isinstance(n, ast.Assert)]
+        assert asserts, f"{module_name} asserts nothing"
+
+    def test_uses_benchmark_fixture(self, module_name):
+        """Every bench test must take the `benchmark` fixture, or
+        --benchmark-only silently skips it."""
+        tree = ast.parse(self._source(module_name))
+        for node in ast.walk(tree):
+            if isinstance(node, ast.FunctionDef) and node.name.startswith("test_"):
+                args = {a.arg for a in node.args.args}
+                assert "benchmark" in args, (
+                    f"{module_name}.{node.name} lacks the benchmark fixture"
+                )
+
+    def test_saves_a_known_artifact(self, module_name):
+        if module_name == "test_table1_dataset_stats":
+            expected = "table1"
+        else:
+            expected = None
+        source = self._source(module_name)
+        assert "save_markdown" in source, f"{module_name} saves no artifact"
+        if expected:
+            assert f'"{expected}"' in source
+
+    def test_artifact_names_known_to_report(self, module_name):
+        """Artifact names passed to save_markdown appear in SECTION_ORDER."""
+        from repro.experiments.report import SECTION_ORDER
+
+        tree = ast.parse(self._source(module_name))
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and getattr(node.func, "id", "") == "save_markdown"
+                and len(node.args) >= 2
+                and isinstance(node.args[1], ast.Constant)
+            ):
+                name = node.args[1].value
+                assert name in SECTION_ORDER, (
+                    f"{module_name} saves '{name}' which the report "
+                    "aggregator does not order — add it to SECTION_ORDER"
+                )

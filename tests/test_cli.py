@@ -1,0 +1,118 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table2_defaults(self):
+        args = build_parser().parse_args(["table2"])
+        assert args.datasets == ["beauty", "sports", "toys", "yelp"]
+        assert args.preset == "smoke"
+
+    def test_figure4_rates(self):
+        args = build_parser().parse_args(
+            ["figure4", "--rates", "0.1", "0.9", "--dataset", "yelp"]
+        )
+        assert args.rates == [0.1, 0.9]
+        assert args.dataset == "yelp"
+
+    def test_ablation_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ablation", "--which", "nonsense"])
+
+    def test_preset_choices(self):
+        args = build_parser().parse_args(["figure5", "--preset", "bench"])
+        assert args.preset == "bench"
+
+    def test_figure6_arguments(self):
+        args = build_parser().parse_args(
+            ["figure6", "--fractions", "0.2", "1.0", "--gamma", "0.1"]
+        )
+        assert args.fractions == [0.2, 1.0]
+        assert args.gamma == 0.1
+
+    def test_convergence_arguments(self):
+        args = build_parser().parse_args(
+            ["convergence", "--bar-fraction", "0.8", "--dataset", "toys"]
+        )
+        assert args.bar_fraction == 0.8
+        assert args.dataset == "toys"
+
+    def test_scale_overrides_parsed(self):
+        args = build_parser().parse_args(
+            ["table2", "--dataset-scale", "0.02", "--dim", "24", "--seed", "3"]
+        )
+        assert args.dataset_scale == 0.02
+        assert args.dim == 24
+        assert args.seed == 3
+
+
+class TestMain:
+    def test_table1_runs(self, capsys, tmp_path):
+        out = tmp_path / "t1.md"
+        code = main(["table1", "--scale", "0.02", "--output", str(out)])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "Table 1" in captured
+        assert out.exists()
+        assert "beauty" in out.read_text()
+
+    def test_table2_micro_runs(self, capsys):
+        code = main(
+            [
+                "table2",
+                "--datasets",
+                "beauty",
+                "--models",
+                "Pop",
+                "--dataset-scale",
+                "0.01",
+                "--epochs",
+                "1",
+            ]
+        )
+        assert code == 0
+        assert "Pop" in capsys.readouterr().out
+
+    def test_report_command(self, capsys, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "table1.md").write_text("### Table 1\n| x |\n")
+        out = tmp_path / "REPORT.md"
+        code = main(
+            ["report", "--results-dir", str(results), "--output", str(out)]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "Table 1" in out.read_text()
+
+    def test_figure4_micro_runs(self, capsys):
+        code = main(
+            [
+                "figure4",
+                "--dataset",
+                "beauty",
+                "--operators",
+                "crop",
+                "--rates",
+                "0.5",
+                "--dataset-scale",
+                "0.01",
+                "--epochs",
+                "1",
+                "--pretrain-epochs",
+                "1",
+                "--dim",
+                "16",
+                "--max-length",
+                "12",
+            ]
+        )
+        assert code == 0
+        assert "Figure 4" in capsys.readouterr().out
