@@ -60,6 +60,16 @@ from repro.eval import (
     ranking_metrics,
     recommendation_diagnostics,
 )
+from repro.runtime import (
+    CheckpointError,
+    CheckpointManager,
+    DivergenceError,
+    DivergenceGuard,
+    FaultInjector,
+    SimulatedPreemption,
+    TrainingInterrupted,
+    TrainingRuntime,
+)
 from repro.models import (
     BERT4Rec,
     BPRMF,
@@ -83,13 +93,18 @@ __all__ = [
     "CL4SRec",
     "CL4SRecConfig",
     "Caser",
+    "CheckpointError",
+    "CheckpointManager",
     "Compose",
     "ContrastivePretrainConfig",
     "Crop",
     "DATASETS",
+    "DivergenceError",
+    "DivergenceGuard",
     "EvaluationResult",
     "Evaluator",
     "FPMC",
+    "FaultInjector",
     "GRU4Rec",
     "Identity",
     "Insert",
@@ -109,9 +124,12 @@ __all__ = [
     "SASRecBPR",
     "SASRecConfig",
     "SequenceDataset",
+    "SimulatedPreemption",
     "Substitute",
     "SyntheticConfig",
     "TrainConfig",
+    "TrainingInterrupted",
+    "TrainingRuntime",
     "dataset_names",
     "dataset_report",
     "evaluate_model",

@@ -7,6 +7,13 @@ Examples::
     python -m repro figure4 --dataset yelp --rates 0.1 0.5 0.9
     python -m repro figure6 --dataset beauty --output fig6.md
     python -m repro ablation --which temperature
+    python -m repro train --dataset beauty --checkpoint-dir ckpts
+    python -m repro train --dataset beauty --checkpoint-dir ckpts --resume
+
+``train`` runs CL4SRec under the fault-tolerant runtime: crash-safe
+rotating checkpoints, SIGTERM/SIGINT flush-and-exit (exit code 3), and
+``--resume`` to continue an interrupted run bit-for-bit.  See
+``docs/ROBUSTNESS.md``.
 """
 
 from __future__ import annotations
@@ -30,6 +37,10 @@ from repro.experiments.table1 import run_table1
 from repro.experiments.table2 import run_table2
 
 PRESETS = {"smoke": SMOKE_SCALE, "bench": BENCH_SCALE, "full": FULL_SCALE}
+
+#: Exit code of ``train`` when interrupted (checkpoint flushed; re-run
+#: with ``--resume``).  Distinct from 0/1 so wrapper scripts can retry.
+EXIT_INTERRUPTED = 3
 
 
 def _scale_from_args(args: argparse.Namespace) -> ExperimentScale:
@@ -118,6 +129,55 @@ def build_parser() -> argparse.ArgumentParser:
     p_cv.add_argument("--bar-fraction", dest="bar_fraction", type=float, default=0.9)
     _add_scale_arguments(p_cv)
 
+    p_tr = sub.add_parser(
+        "train", help="fault-tolerant CL4SRec training (checkpoints + resume)"
+    )
+    p_tr.add_argument("--dataset", default="beauty")
+    p_tr.add_argument(
+        "--mode", choices=["joint", "pretrain_finetune"], default="joint"
+    )
+    p_tr.add_argument(
+        "--checkpoint-dir",
+        dest="checkpoint_dir",
+        default="checkpoints",
+        help="directory for rotating crash-safe checkpoints",
+    )
+    p_tr.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from the newest valid checkpoint in --checkpoint-dir",
+    )
+    p_tr.add_argument(
+        "--checkpoint-every",
+        dest="checkpoint_every",
+        type=int,
+        default=1,
+        help="checkpoint every N epochs (0 = only the final/interrupt flush)",
+    )
+    p_tr.add_argument(
+        "--keep", type=int, default=3, help="checkpoints retained per stage"
+    )
+    p_tr.add_argument(
+        "--no-guard",
+        dest="guard",
+        action="store_false",
+        help="disable the NaN/divergence rollback guard",
+    )
+    p_tr.add_argument(
+        "--track-dir",
+        dest="track_dir",
+        default=None,
+        help="also record the run in this RunRegistry directory",
+    )
+    p_tr.add_argument(
+        "--preempt-at",
+        dest="preempt_at",
+        type=int,
+        default=None,
+        help="inject a simulated preemption after N steps (fault testing)",
+    )
+    _add_scale_arguments(p_tr)
+
     p_rp = sub.add_parser(
         "report", help="stitch benchmarks/results/*.md into one report"
     )
@@ -131,10 +191,116 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run_train(args: argparse.Namespace) -> int:
+    """The ``train`` subcommand: CL4SRec under the fault-tolerant runtime."""
+    from repro.core.trainer import pretrain_contrastive, train_joint
+    from repro.data.registry import load_dataset
+    from repro.experiments.factory import build_model
+    from repro.models.training import train_next_item_model
+    from repro.runtime import (
+        CheckpointManager,
+        FaultInjector,
+        TrainingInterrupted,
+        TrainingRuntime,
+    )
+
+    scale = _scale_from_args(args)
+    dataset = load_dataset(args.dataset, scale=scale.dataset_scale, seed=scale.seed)
+    model = build_model("CL4SRec", dataset, scale, mode=args.mode)
+    faults = None
+    if args.preempt_at is not None:
+        faults = FaultInjector().preempt(at=args.preempt_at)
+
+    def runtime_for(stage: str) -> TrainingRuntime:
+        manager = CheckpointManager(
+            os.path.join(args.checkpoint_dir, stage), keep=args.keep
+        )
+        return TrainingRuntime(
+            manager,
+            checkpoint_every=args.checkpoint_every,
+            resume=args.resume,
+            guard=args.guard,
+            faults=faults,
+        )
+
+    started = time.time()
+    try:
+        if args.mode == "joint":
+            runtime = runtime_for("joint")
+            losses = train_joint(
+                model, dataset, model.cl_config.joint, rng=model._rng, runtime=runtime
+            )
+            final_loss = losses[-1] if losses else float("nan")
+            stages = {"joint": runtime}
+        else:
+            pre_runtime = runtime_for("pretrain")
+            model.pretrain_history = pretrain_contrastive(
+                model,
+                dataset,
+                model.cl_config.pretrain,
+                rng=model._rng,
+                runtime=pre_runtime,
+            )
+            fine_runtime = runtime_for("finetune")
+            history = train_next_item_model(
+                model,
+                dataset,
+                model.cl_config.sasrec.train,
+                rng=model._rng,
+                runtime=fine_runtime,
+            )
+            final_loss = history.losses[-1] if history.losses else float("nan")
+            stages = {"pretrain": pre_runtime, "finetune": fine_runtime}
+    except TrainingInterrupted as interrupted:
+        print(f"interrupted: {interrupted}")
+        print(f"re-run with --resume --checkpoint-dir {args.checkpoint_dir} to continue")
+        return EXIT_INTERRUPTED
+
+    duration = time.time() - started
+    for stage, runtime in stages.items():
+        resumed = (
+            f"resumed from epoch {runtime.resumed_from}"
+            if runtime.resumed_from is not None
+            else "fresh start"
+        )
+        rollbacks = runtime.guard.total_rollbacks if runtime.guard else 0
+        print(
+            f"[{stage}] {resumed}; checkpoints in "
+            f"{runtime.manager.directory} (keep={runtime.manager.keep}); "
+            f"divergence rollbacks: {rollbacks}"
+        )
+        if runtime.write_failures:
+            print(f"[{stage}] WARNING: {len(runtime.write_failures)} checkpoint "
+                  f"write(s) failed: {runtime.write_failures[-1]}")
+    print(f"final training loss: {final_loss:.4f} ({duration:.1f}s)")
+
+    if args.track_dir:
+        from repro.experiments.tracking import RunRegistry
+
+        registry = RunRegistry(args.track_dir)
+        record = registry.record(
+            experiment=f"train-{args.dataset}",
+            params={
+                "dataset": args.dataset,
+                "mode": args.mode,
+                "preset": args.preset,
+                "resumed": any(
+                    r.resumed_from is not None for r in stages.values()
+                ),
+            },
+            metrics={"final_loss": float(final_loss)},
+            duration_seconds=duration,
+        )
+        print(f"recorded {record.run_id} in {args.track_dir}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     started = time.time()
 
+    if args.command == "train":
+        return _run_train(args)
     if args.command == "table1":
         result = run_table1(scale=args.scale, seed=args.seed)
     elif args.command == "table2":

@@ -9,10 +9,16 @@ Two regimes are provided:
 * :func:`train_joint` — the ICDE camera-ready's multi-task variant:
   each step minimizes ``L_rec + λ · L_cl`` over one supervised batch
   and one contrastive batch.
+
+Both loops accept an optional
+:class:`repro.runtime.resume.TrainingRuntime` that adds crash-safe
+periodic checkpoints, bit-exact resume, SIGTERM/SIGINT
+flush-and-exit, and divergence rollback — see ``docs/ROBUSTNESS.md``.
 """
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -59,17 +65,36 @@ class PretrainHistory:
     accuracies: list[float] = field(default_factory=list)
 
 
+def _runtime_rngs(model, rng: np.random.Generator) -> list[np.random.Generator]:
+    """The generators a checkpoint must capture for bit-exact resume.
+
+    The loop's generator drives batch order, augmentation and negative
+    sampling; the model's own generator (when distinct) drives dropout.
+    """
+    rngs = [rng]
+    model_rng = getattr(model, "_rng", None)
+    if isinstance(model_rng, np.random.Generator):
+        rngs.append(model_rng)
+    return rngs
+
+
 def pretrain_contrastive(
     model,
     dataset: SequenceDataset,
     config: ContrastivePretrainConfig,
     rng: np.random.Generator | None = None,
+    runtime=None,
 ) -> PretrainHistory:
     """Optimize NT-Xent over augmented view pairs (paper §3.2).
 
     The model contract: ``contrastive_parameters()`` (encoder +
     projection head) and ``contrastive_loss(batch) -> (Tensor, float)``
     returning the loss and the in-batch retrieval accuracy.
+
+    ``runtime`` (a :class:`repro.runtime.resume.TrainingRuntime`) adds
+    periodic checkpoints, resume, and divergence rollback; interrupted
+    runs raise :class:`repro.runtime.resume.TrainingInterrupted` after
+    flushing a final checkpoint.
     """
     rng = rng if rng is not None else np.random.default_rng(config.seed)
     loader = ContrastiveBatchLoader(
@@ -89,21 +114,47 @@ def pretrain_contrastive(
     clipper = GradientClipper(params, config.clip_norm)
     history = PretrainHistory()
 
+    start_epoch = 0
+    if runtime is not None:
+        start_epoch = runtime.start(
+            model=model,
+            optimizer=optimizer,
+            schedule=schedule,
+            rngs=_runtime_rngs(model, rng),
+            history={"losses": history.losses, "accuracies": history.accuracies},
+        )
+
     model.train()
-    for __ in range(config.epochs):
-        epoch_loss, epoch_acc, batches = 0.0, 0.0, 0
-        for batch in loader.epoch():
-            loss, accuracy = model.contrastive_loss(batch)
-            optimizer.zero_grad()
-            loss.backward()
-            clipper.clip()
-            optimizer.step()
-            schedule.step()
-            epoch_loss += loss.item()
-            epoch_acc += accuracy
-            batches += 1
-        history.losses.append(epoch_loss / max(1, batches))
-        history.accuracies.append(epoch_acc / max(1, batches))
+    with runtime.session() if runtime is not None else nullcontext():
+        for epoch in range(start_epoch, config.epochs):
+            if runtime is not None:
+                runtime.begin_epoch(epoch)
+            epoch_loss, epoch_acc, batches = 0.0, 0.0, 0
+            for batch in loader.epoch():
+                loss, accuracy = model.contrastive_loss(batch)
+                loss_value = loss.item()
+                optimizer.zero_grad()
+                loss.backward()
+                grad_norm = clipper.clip()
+                if runtime is not None:
+                    loss_value = runtime.intercept_loss(loss_value)
+                    if not runtime.allow_update(loss_value, grad_norm):
+                        optimizer.zero_grad()
+                        runtime.after_step()
+                        continue
+                optimizer.step()
+                schedule.step()
+                epoch_loss += loss_value
+                epoch_acc += accuracy
+                batches += 1
+                if runtime is not None:
+                    runtime.after_step()
+            history.losses.append(epoch_loss / max(1, batches))
+            history.accuracies.append(epoch_acc / max(1, batches))
+            if runtime is not None:
+                runtime.end_epoch(epoch)
+    if runtime is not None:
+        runtime.finalize()
     model.eval()
     return history
 
@@ -113,11 +164,13 @@ def train_joint(
     dataset: SequenceDataset,
     config: JointTrainConfig,
     rng: np.random.Generator | None = None,
+    runtime=None,
 ):
     """Joint multi-task optimization: ``L_rec + λ · L_cl`` per step.
 
     Returns the supervised-loss history (a list of per-epoch means of
-    the combined loss).
+    the combined loss).  ``runtime`` behaves as in
+    :func:`pretrain_contrastive`.
     """
     rng = rng if rng is not None else np.random.default_rng(config.seed)
     next_loader = NextItemBatchLoader(
@@ -140,26 +193,52 @@ def train_joint(
     clipper = GradientClipper(params, config.clip_norm)
     losses: list[float] = []
 
+    start_epoch = 0
+    if runtime is not None:
+        start_epoch = runtime.start(
+            model=model,
+            optimizer=optimizer,
+            schedule=schedule,
+            rngs=_runtime_rngs(model, rng),
+            history={"losses": losses},
+        )
+
     model.train()
-    for __ in range(config.epochs):
-        epoch_loss, batches = 0.0, 0
-        cl_batches = iter(cl_loader.epoch())
-        for batch in next_loader.epoch():
-            loss = model.sequence_loss(batch)
-            try:
-                cl_batch = next(cl_batches)
-            except StopIteration:
-                cl_batches = iter(cl_loader.epoch())
-                cl_batch = next(cl_batches)
-            cl_loss, __acc = model.contrastive_loss(cl_batch)
-            total = loss + config.cl_weight * cl_loss
-            optimizer.zero_grad()
-            total.backward()
-            clipper.clip()
-            optimizer.step()
-            schedule.step()
-            epoch_loss += total.item()
-            batches += 1
-        losses.append(epoch_loss / max(1, batches))
+    with runtime.session() if runtime is not None else nullcontext():
+        for epoch in range(start_epoch, config.epochs):
+            if runtime is not None:
+                runtime.begin_epoch(epoch)
+            epoch_loss, batches = 0.0, 0
+            cl_batches = iter(cl_loader.epoch())
+            for batch in next_loader.epoch():
+                loss = model.sequence_loss(batch)
+                try:
+                    cl_batch = next(cl_batches)
+                except StopIteration:
+                    cl_batches = iter(cl_loader.epoch())
+                    cl_batch = next(cl_batches)
+                cl_loss, __acc = model.contrastive_loss(cl_batch)
+                total = loss + config.cl_weight * cl_loss
+                total_value = total.item()
+                optimizer.zero_grad()
+                total.backward()
+                grad_norm = clipper.clip()
+                if runtime is not None:
+                    total_value = runtime.intercept_loss(total_value)
+                    if not runtime.allow_update(total_value, grad_norm):
+                        optimizer.zero_grad()
+                        runtime.after_step()
+                        continue
+                optimizer.step()
+                schedule.step()
+                epoch_loss += total_value
+                batches += 1
+                if runtime is not None:
+                    runtime.after_step()
+            losses.append(epoch_loss / max(1, batches))
+            if runtime is not None:
+                runtime.end_epoch(epoch)
+    if runtime is not None:
+        runtime.finalize()
     model.eval()
     return losses

@@ -10,7 +10,12 @@ sequences, leave-one-out splits, padded batching, negative sampling —
 follows the paper's §4.1 exactly and works identically on real logs.
 """
 
-from repro.data.io import read_csv_log, read_jsonl_log, write_csv_log
+from repro.data.io import (
+    MalformedRowsSkipped,
+    read_csv_log,
+    read_jsonl_log,
+    write_csv_log,
+)
 from repro.data.log import InteractionLog
 from repro.data.preprocessing import (
     SequenceDataset,
@@ -47,6 +52,7 @@ __all__ = [
     "ContrastiveBatchLoader",
     "DatasetSpec",
     "InteractionLog",
+    "MalformedRowsSkipped",
     "NegativeSampler",
     "NextItemBatch",
     "NextItemBatchLoader",

@@ -5,6 +5,10 @@ id, parameters, metrics, and wall-clock duration to one JSON file in a
 directory, and :class:`RunRegistry` loads them back for comparison —
 enough to answer "what did I run last week and with which settings"
 without a heavyweight tracking service.
+
+Manifest writes are atomic (temp file + fsync + ``os.replace``), so a
+crash mid-record never leaves a truncated JSON file that poisons later
+:meth:`RunRegistry.runs` scans.
 """
 
 from __future__ import annotations
@@ -14,6 +18,8 @@ import os
 import time
 from dataclasses import asdict, dataclass, field
 from typing import Any, Iterator
+
+from repro.nn.serialization import atomic_write_bytes
 
 
 @dataclass
@@ -72,8 +78,7 @@ class RunRegistry:
             notes=notes,
         )
         path = os.path.join(self.directory, f"{run_id}.json")
-        with open(path, "w") as handle:
-            handle.write(record.to_json() + "\n")
+        atomic_write_bytes(path, (record.to_json() + "\n").encode("utf-8"))
         return record
 
     def runs(self, experiment: str | None = None) -> list[RunRecord]:

@@ -3,10 +3,16 @@
 Implements the paper's fine-tuning regime: Adam with linear lr decay,
 mini-batches of user sequences, the masked next-item BCE objective, and
 early stopping on validation HR@10.
+
+The loop optionally threads a
+:class:`repro.runtime.resume.TrainingRuntime` for crash-safe periodic
+checkpoints, bit-exact resume (including the early-stopping counters
+and the best-validation parameters), and divergence rollback.
 """
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -60,6 +66,7 @@ def train_next_item_model(
     dataset: SequenceDataset,
     config: TrainConfig,
     rng: np.random.Generator | None = None,
+    runtime=None,
 ) -> TrainingHistory:
     """Run the supervised loop on any model with ``sequence_loss``.
 
@@ -69,6 +76,11 @@ def train_next_item_model(
     * ``sequence_loss(batch: NextItemBatch) -> Tensor`` — scalar loss.
     * ``score_users(...)`` — used for validation-based early stopping
       when ``config.eval_every > 0``.
+
+    ``runtime`` (a :class:`repro.runtime.resume.TrainingRuntime`) adds
+    periodic checkpoints, resume, and divergence rollback; interrupted
+    runs raise :class:`repro.runtime.resume.TrainingInterrupted` after
+    flushing a final checkpoint.
     """
     rng = rng if rng is not None else np.random.default_rng(config.seed)
     sampler = None
@@ -98,41 +110,92 @@ def train_next_item_model(
     evaluator = None
     if config.eval_every > 0:
         evaluator = Evaluator(dataset, split="valid")
-    best_metric = -np.inf
-    best_state: dict | None = None
-    epochs_since_best = 0
+    # Early-stopping state lives in checkpoint-friendly containers so a
+    # resumed run continues the patience countdown where it stopped.
+    stop_state = {
+        "best_metric": -np.inf,
+        "epochs_since_best": 0.0,
+        "best_epoch": -1.0,
+        "stopped_early": 0.0,
+    }
+    aux: dict[str, dict[str, np.ndarray]] = {}
+
+    start_epoch = 0
+    if runtime is not None:
+        from repro.core.trainer import _runtime_rngs
+
+        start_epoch = runtime.start(
+            model=model,
+            optimizer=optimizer,
+            schedule=schedule,
+            rngs=_runtime_rngs(model, rng),
+            history={
+                "losses": history.losses,
+                "valid_scores": history.valid_scores,
+            },
+            extras=stop_state,
+            aux=aux,
+        )
+        history.best_epoch = int(stop_state["best_epoch"])
+        if stop_state["stopped_early"]:
+            # The interrupted run had already early-stopped; don't train on.
+            history.stopped_early = True
+            start_epoch = config.epochs
+    best_state: dict | None = aux.get("best") or None
 
     model.train()
-    for epoch in range(config.epochs):
-        epoch_loss = 0.0
-        batches = 0
-        for batch in loader.epoch():
-            loss = model.sequence_loss(batch)
-            optimizer.zero_grad()
-            loss.backward()
-            clipper.clip()
-            optimizer.step()
-            schedule.step()
-            epoch_loss += loss.item()
-            batches += 1
-        history.losses.append(epoch_loss / max(1, batches))
+    with runtime.session() if runtime is not None else nullcontext():
+        for epoch in range(start_epoch, config.epochs):
+            if runtime is not None:
+                runtime.begin_epoch(epoch)
+            epoch_loss = 0.0
+            batches = 0
+            for batch in loader.epoch():
+                loss = model.sequence_loss(batch)
+                loss_value = loss.item()
+                optimizer.zero_grad()
+                loss.backward()
+                grad_norm = clipper.clip()
+                if runtime is not None:
+                    loss_value = runtime.intercept_loss(loss_value)
+                    if not runtime.allow_update(loss_value, grad_norm):
+                        optimizer.zero_grad()
+                        runtime.after_step()
+                        continue
+                optimizer.step()
+                schedule.step()
+                epoch_loss += loss_value
+                batches += 1
+                if runtime is not None:
+                    runtime.after_step()
+            history.losses.append(epoch_loss / max(1, batches))
 
-        if evaluator is not None and (epoch + 1) % config.eval_every == 0:
-            model.eval()
-            result = evaluator.evaluate(model, max_users=config.max_eval_users)
-            model.train()
-            score = result[config.early_stopping_metric]
-            history.valid_scores.append(score)
-            if score > best_metric:
-                best_metric = score
-                best_state = model.state_dict()
-                history.best_epoch = epoch
-                epochs_since_best = 0
-            else:
-                epochs_since_best += 1
-                if epochs_since_best >= config.patience:
-                    history.stopped_early = True
-                    break
+            stop = False
+            if evaluator is not None and (epoch + 1) % config.eval_every == 0:
+                model.eval()
+                result = evaluator.evaluate(model, max_users=config.max_eval_users)
+                model.train()
+                score = result[config.early_stopping_metric]
+                history.valid_scores.append(score)
+                if score > stop_state["best_metric"]:
+                    stop_state["best_metric"] = score
+                    stop_state["best_epoch"] = float(epoch)
+                    stop_state["epochs_since_best"] = 0.0
+                    best_state = model.state_dict()
+                    aux["best"] = best_state
+                    history.best_epoch = epoch
+                else:
+                    stop_state["epochs_since_best"] += 1.0
+                    if stop_state["epochs_since_best"] >= config.patience:
+                        history.stopped_early = True
+                        stop_state["stopped_early"] = 1.0
+                        stop = True
+            if runtime is not None:
+                runtime.end_epoch(epoch)
+            if stop:
+                break
+    if runtime is not None:
+        runtime.finalize()
 
     if best_state is not None:
         model.load_state_dict(best_state)

@@ -37,12 +37,21 @@ from repro.nn.schedules import (
     StepDecaySchedule,
     WarmupLinearSchedule,
 )
-from repro.nn.serialization import load_state_dict, save_state_dict
+from repro.nn.serialization import (
+    CheckpointError,
+    atomic_write,
+    atomic_write_bytes,
+    load_state_dict,
+    save_state_dict,
+)
 from repro.nn.tensor import Tensor, concat, no_grad, stack, tensor
 from repro.nn.transformer import TransformerEncoder, TransformerEncoderLayer
 
 __all__ = [
     "Adam",
+    "CheckpointError",
+    "atomic_write",
+    "atomic_write_bytes",
     "ConstantSchedule",
     "CosineSchedule",
     "Dropout",

@@ -6,6 +6,13 @@ post-restore updates are biased.  A :func:`save_checkpoint` /
 :func:`load_checkpoint` pair captures both, so a training run can be
 stopped and resumed bit-for-bit (modulo data-order randomness, which
 callers control through their seeds).
+
+Writes are atomic (temp file + fsync + ``os.replace``); restore errors
+caused by a differently-configured model — missing/unexpected parameter
+names, shape mismatches — surface as :class:`CheckpointError` carrying
+the offending path, never a bare NumPy broadcasting error.  Crash-safe
+rotation, checksums and recovery live one level up, in
+:mod:`repro.runtime.checkpointing`.
 """
 
 from __future__ import annotations
@@ -15,45 +22,8 @@ import os
 import numpy as np
 
 from repro.nn.module import Module
-from repro.nn.optim import Adam, Optimizer, SGD
-
-
-def _optimizer_state(optimizer: Optimizer) -> dict[str, np.ndarray]:
-    state: dict[str, np.ndarray] = {
-        "__lr__": np.asarray(optimizer.lr),
-    }
-    if isinstance(optimizer, Adam):
-        state["__kind__"] = np.asarray("adam")
-        state["__step__"] = np.asarray(optimizer._step_count)
-        for index, (m, v) in enumerate(zip(optimizer._m, optimizer._v)):
-            state[f"m.{index}"] = m
-            state[f"v.{index}"] = v
-    elif isinstance(optimizer, SGD):
-        state["__kind__"] = np.asarray("sgd")
-        for index, velocity in enumerate(optimizer._velocity):
-            state[f"velocity.{index}"] = velocity
-    else:
-        raise TypeError(f"unsupported optimizer type {type(optimizer).__name__}")
-    return state
-
-
-def _restore_optimizer(optimizer: Optimizer, state: dict[str, np.ndarray]) -> None:
-    kind = str(state["__kind__"])
-    optimizer.lr = float(state["__lr__"])
-    if isinstance(optimizer, Adam):
-        if kind != "adam":
-            raise ValueError(f"checkpoint holds a {kind} state, optimizer is Adam")
-        optimizer._step_count = int(state["__step__"])
-        for index in range(len(optimizer.params)):
-            optimizer._m[index][:] = state[f"m.{index}"]
-            optimizer._v[index][:] = state[f"v.{index}"]
-    elif isinstance(optimizer, SGD):
-        if kind != "sgd":
-            raise ValueError(f"checkpoint holds a {kind} state, optimizer is SGD")
-        for index in range(len(optimizer.params)):
-            optimizer._velocity[index][:] = state[f"velocity.{index}"]
-    else:  # pragma: no cover - _optimizer_state already rejects these
-        raise TypeError(f"unsupported optimizer type {type(optimizer).__name__}")
+from repro.nn.optim import Optimizer
+from repro.nn.serialization import CheckpointError, atomic_write
 
 
 def save_checkpoint(
@@ -67,12 +37,11 @@ def save_checkpoint(
     for name, values in model.state_dict().items():
         payload[f"model/{name}"] = values
     if optimizer is not None:
-        for name, values in _optimizer_state(optimizer).items():
+        for name, values in optimizer.state_dict().items():
             payload[f"optim/{name}"] = values
     for name, value in (extra or {}).items():
         payload[f"extra/{name}"] = np.asarray(value)
-    with open(path, "wb") as handle:
-        np.savez(handle, **payload)
+    atomic_write(path, lambda handle: np.savez(handle, **payload))
 
 
 def load_checkpoint(
@@ -80,26 +49,48 @@ def load_checkpoint(
     model: Module,
     optimizer: Optimizer | None = None,
 ) -> dict[str, float]:
-    """Restore model (and optimizer) state; returns the extras dict."""
-    with np.load(path, allow_pickle=False) as archive:
-        model_state = {
-            name[len("model/") :]: archive[name]
-            for name in archive.files
-            if name.startswith("model/")
-        }
-        optim_state = {
-            name[len("optim/") :]: archive[name]
-            for name in archive.files
-            if name.startswith("optim/")
-        }
-        extras = {
-            name[len("extra/") :]: float(archive[name])
-            for name in archive.files
-            if name.startswith("extra/")
-        }
-    model.load_state_dict(model_state)
+    """Restore model (and optimizer) state; returns the extras dict.
+
+    Raises :class:`CheckpointError` naming ``path`` when the archive is
+    unreadable or its contents do not fit the given model/optimizer
+    (key-set or shape mismatch from a differently-configured model).
+    """
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            model_state = {
+                name[len("model/") :]: archive[name]
+                for name in archive.files
+                if name.startswith("model/")
+            }
+            optim_state = {
+                name[len("optim/") :]: archive[name]
+                for name in archive.files
+                if name.startswith("optim/")
+            }
+            extras = {
+                name[len("extra/") :]: float(archive[name])
+                for name in archive.files
+                if name.startswith("extra/")
+            }
+    except Exception as error:
+        raise CheckpointError(
+            f"{os.fspath(path)}: unreadable checkpoint archive: {error}"
+        ) from error
+    try:
+        model.load_state_dict(model_state)
+    except (KeyError, ValueError) as error:
+        raise CheckpointError(
+            f"{os.fspath(path)}: checkpoint does not fit this model "
+            f"(was it saved from a different configuration?): {error}"
+        ) from error
     if optimizer is not None:
         if not optim_state:
             raise ValueError(f"{path} contains no optimizer state")
-        _restore_optimizer(optimizer, optim_state)
+        try:
+            optimizer.load_state_dict(optim_state)
+        except (KeyError, IndexError, ValueError) as error:
+            raise CheckpointError(
+                f"{os.fspath(path)}: checkpoint does not fit this optimizer: "
+                f"{error}"
+            ) from error
     return extras

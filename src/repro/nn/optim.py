@@ -17,6 +17,8 @@ from repro.nn.module import Parameter
 class Optimizer:
     """Base class holding a parameter list and the current lr."""
 
+    kind: str = ""  # short tag identifying the update rule ("adam", "sgd")
+
     def __init__(self, params: Iterable[Parameter], lr: float) -> None:
         self.params = list(params)
         if not self.params:
@@ -33,9 +35,49 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # Persistence — flat ``name -> array`` mappings, checkpoint-ready
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Return the optimizer state as a flat ``name -> array`` dict.
+
+        Contains ``__kind__`` (the update rule tag), ``__lr__``, and
+        whatever per-parameter buffers the subclass maintains.
+        """
+        if not self.kind:
+            raise TypeError(
+                f"{type(self).__name__} does not define a state_dict kind"
+            )
+        state: dict[str, np.ndarray] = {
+            "__kind__": np.asarray(self.kind),
+            "__lr__": np.asarray(self.lr),
+        }
+        state.update(self._state_buffers())
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore state produced by :meth:`state_dict` (in place)."""
+        kind = str(state["__kind__"])
+        if kind != self.kind:
+            raise ValueError(
+                f"checkpoint holds a {kind} state, optimizer is "
+                f"{type(self).__name__}"
+            )
+        self.lr = float(state["__lr__"])
+        self._load_state_buffers(state)
+
+    def _state_buffers(self) -> dict[str, np.ndarray]:
+        """Per-parameter buffers to persist; subclasses override."""
+        return {}
+
+    def _load_state_buffers(self, state: dict[str, np.ndarray]) -> None:
+        """Restore the buffers emitted by :meth:`_state_buffers`."""
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum."""
+
+    kind = "sgd"
 
     def __init__(
         self,
@@ -62,12 +104,24 @@ class SGD(Optimizer):
                 grad = velocity
             param.data -= self.lr * grad
 
+    def _state_buffers(self) -> dict[str, np.ndarray]:
+        return {
+            f"velocity.{index}": velocity
+            for index, velocity in enumerate(self._velocity)
+        }
+
+    def _load_state_buffers(self, state: dict[str, np.ndarray]) -> None:
+        for index in range(len(self.params)):
+            self._velocity[index][:] = state[f"velocity.{index}"]
+
 
 class Adam(Optimizer):
     """Adam (Kingma & Ba, 2014) with bias correction.
 
     Defaults match the paper: lr=0.001, β1=0.9, β2=0.999.
     """
+
+    kind = "adam"
 
     def __init__(
         self,
@@ -104,6 +158,19 @@ class Adam(Optimizer):
             v_hat = v / bias2
             param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
+    def _state_buffers(self) -> dict[str, np.ndarray]:
+        buffers: dict[str, np.ndarray] = {"__step__": np.asarray(self._step_count)}
+        for index, (m, v) in enumerate(zip(self._m, self._v)):
+            buffers[f"m.{index}"] = m
+            buffers[f"v.{index}"] = v
+        return buffers
+
+    def _load_state_buffers(self, state: dict[str, np.ndarray]) -> None:
+        self._step_count = int(state["__step__"])
+        for index in range(len(self.params)):
+            self._m[index][:] = state[f"m.{index}"]
+            self._v[index][:] = state[f"v.{index}"]
+
 
 class LinearDecaySchedule:
     """Linearly decay the optimizer lr from its initial value.
@@ -135,6 +202,22 @@ class LinearDecaySchedule:
     @property
     def current_lr(self) -> float:
         return self.optimizer.lr
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Schedule state needed to resume mid-run lr decay."""
+        return {
+            "step": np.asarray(self._step_count),
+            "initial_lr": np.asarray(self.initial_lr),
+        }
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore :meth:`state_dict` output; re-applies the decayed lr."""
+        self._step_count = int(state["step"])
+        self.initial_lr = float(state["initial_lr"])
+        if self._step_count > 0:
+            progress = min(self._step_count, self.total_steps) / self.total_steps
+            factor = 1.0 - (1.0 - self.final_factor) * progress
+            self.optimizer.lr = self.initial_lr * factor
 
 
 class GradientClipper:

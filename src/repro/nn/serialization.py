@@ -1,25 +1,84 @@
-"""Persist model state dicts as ``.npz`` archives."""
+"""Persist model state dicts as ``.npz`` archives.
+
+All writers here are **crash-safe**: the archive is first written to a
+temporary file in the destination directory, flushed and fsync'd, and
+then moved over the final name with :func:`os.replace` (atomic on
+POSIX).  A reader therefore never observes a half-written archive — it
+sees either the old file or the new one.
+"""
 
 from __future__ import annotations
 
 import os
-from typing import Mapping
+import tempfile
+from typing import BinaryIO, Callable, Mapping
 
 import numpy as np
+
+
+class CheckpointError(ValueError):
+    """A checkpoint archive could not be written, read, or restored.
+
+    Raised with the offending path in the message for corruption
+    (truncated or bit-flipped archives, checksum mismatches) and for
+    restore-time shape/key mismatches against a differently-configured
+    model — instead of a bare NumPy or zipfile error.  Subclasses
+    :class:`ValueError` so existing ``except ValueError`` callers keep
+    working.
+    """
+
+
+def atomic_write(path: str | os.PathLike, write: Callable[[BinaryIO], None]) -> None:
+    """Write a file atomically: temp file + fsync + ``os.replace``.
+
+    ``write`` receives the open binary handle.  On any failure the temp
+    file is removed and the previous content of ``path`` (if any) is
+    left untouched.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, temp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            write(handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_bytes(path: str | os.PathLike, data: bytes) -> None:
+    """Atomically replace ``path`` with ``data``."""
+    atomic_write(path, lambda handle: handle.write(data))
 
 
 def save_state_dict(state: Mapping[str, np.ndarray], path: str | os.PathLike) -> None:
     """Write a flat ``name -> array`` mapping to ``path`` (.npz).
 
     Dots in parameter names are preserved; ``np.savez`` handles
-    arbitrary string keys.
+    arbitrary string keys.  The write is atomic (see module docstring).
     """
     arrays = {name: np.asarray(values) for name, values in state.items()}
-    with open(path, "wb") as handle:
-        np.savez(handle, **arrays)
+    atomic_write(path, lambda handle: np.savez(handle, **arrays))
 
 
 def load_state_dict(path: str | os.PathLike) -> dict[str, np.ndarray]:
-    """Read a state dict previously written by :func:`save_state_dict`."""
-    with np.load(path) as archive:
-        return {name: archive[name].copy() for name in archive.files}
+    """Read a state dict previously written by :func:`save_state_dict`.
+
+    Raises :class:`CheckpointError` (with the path) when the archive is
+    missing, truncated, or otherwise unreadable.
+    """
+    try:
+        with np.load(path) as archive:
+            return {name: archive[name].copy() for name in archive.files}
+    except CheckpointError:
+        raise
+    except Exception as error:
+        raise CheckpointError(f"{os.fspath(path)}: unreadable archive: {error}") from error

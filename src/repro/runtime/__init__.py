@@ -1,0 +1,53 @@
+"""Fault-tolerant training runtime.
+
+Crash-safe checkpointing, bit-exact resume, divergence guards, and a
+deterministic fault-injection harness — the robustness layer between
+the nn substrate and the training loops:
+
+* :mod:`repro.runtime.checkpointing` — atomic archive writes, content
+  checksums, last-K rotation, recover-from-newest-valid.
+* :mod:`repro.runtime.resume` — :class:`TrainingRuntime`: periodic
+  checkpoint hooks, SIGTERM/SIGINT flush-and-exit, resume that restores
+  model + optimizer + schedule + RNG + history in place.
+* :mod:`repro.runtime.guards` — :class:`DivergenceGuard`: per-step
+  loss/gradient finiteness checks with rollback and lr backoff.
+* :mod:`repro.runtime.faults` — :class:`FaultInjector`: seedable IO
+  errors, forced NaN losses, simulated preemption.
+
+See ``docs/ROBUSTNESS.md`` for the checkpoint format and semantics.
+"""
+
+from repro.nn.serialization import CheckpointError
+from repro.runtime.checkpointing import (
+    CheckpointManager,
+    file_sha256,
+    read_archive,
+    verify_archive,
+    write_archive,
+)
+from repro.runtime.faults import Fault, FaultInjector, SimulatedPreemption
+from repro.runtime.guards import DivergenceError, DivergenceGuard
+from repro.runtime.resume import (
+    TrainingInterrupted,
+    TrainingRuntime,
+    capture_rng_states,
+    restore_rng_states,
+)
+
+__all__ = [
+    "CheckpointError",
+    "CheckpointManager",
+    "DivergenceError",
+    "DivergenceGuard",
+    "Fault",
+    "FaultInjector",
+    "SimulatedPreemption",
+    "TrainingInterrupted",
+    "TrainingRuntime",
+    "capture_rng_states",
+    "file_sha256",
+    "read_archive",
+    "restore_rng_states",
+    "verify_archive",
+    "write_archive",
+]

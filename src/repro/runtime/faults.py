@@ -1,0 +1,182 @@
+"""Deterministic, seedable fault injection for robustness testing.
+
+Training robustness claims are only as good as their tests, and real
+faults (ENOSPC during a checkpoint write, a preempted worker, a NaN
+loss from an fp blow-up) are hard to reproduce on demand.
+:class:`FaultInjector` simulates them at well-defined *sites* inside
+the runtime:
+
+* ``checkpoint_write`` / ``checkpoint_read`` — an ``OSError`` raised at
+  the Nth write/read attempt, as if the disk failed mid-operation.
+* ``loss`` — the Nth observed loss value is replaced with NaN, as if
+  the optimization diverged.
+* ``step`` — :class:`SimulatedPreemption` raised after the Nth training
+  step, as if the scheduler sent SIGTERM.
+
+Faults are scheduled deterministically by occurrence index, or drawn
+from a seeded generator (``io_failure_rate``), so every test run sees
+the identical fault sequence.  The injector also records everything it
+triggered (:attr:`FaultInjector.triggered`) for assertions.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+SITES = ("checkpoint_write", "checkpoint_read", "loss", "step")
+
+
+class SimulatedPreemption(RuntimeError):
+    """An injected preemption — the moral equivalent of SIGTERM.
+
+    The training runtime converts it into a checkpoint flush followed
+    by :class:`repro.runtime.resume.TrainingInterrupted`, exactly the
+    path a real signal takes.
+    """
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled fault: trigger at the ``at``-th visit of ``site``.
+
+    Occurrence indices are 1-based and global across the run (the
+    third checkpoint write ever, the tenth loss ever observed, ...).
+    """
+
+    site: str
+    at: int
+
+    def __post_init__(self) -> None:
+        if self.site not in SITES:
+            raise ValueError(f"unknown fault site {self.site!r} (choose from {SITES})")
+        if self.at < 1:
+            raise ValueError(f"fault occurrence index must be >= 1, got {self.at}")
+
+
+class FaultInjector:
+    """Injects scheduled and/or seeded-random faults at runtime sites.
+
+    Parameters
+    ----------
+    faults:
+        Explicit :class:`Fault` schedule (deterministic).
+    io_failure_rate:
+        Probability that any checkpoint write/read fails with an
+        injected ``OSError``, drawn from a generator seeded with
+        ``seed`` — reproducible chaos testing.
+    seed:
+        Seed for the random-fault generator.
+    """
+
+    def __init__(
+        self,
+        faults: Iterable[Fault] = (),
+        io_failure_rate: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        self.faults = list(faults)
+        if not 0.0 <= io_failure_rate <= 1.0:
+            raise ValueError("io_failure_rate must be in [0, 1]")
+        self.io_failure_rate = io_failure_rate
+        self._rng = np.random.default_rng(seed)
+        self._counts: dict[str, int] = defaultdict(int)
+        self.triggered: list[tuple[str, int]] = []
+
+    # ------------------------------------------------------------------
+    # Schedule builders (chainable)
+    # ------------------------------------------------------------------
+    def fail_write(self, at: int) -> "FaultInjector":
+        """Schedule an IO error on the ``at``-th checkpoint write."""
+        self.faults.append(Fault("checkpoint_write", at))
+        return self
+
+    def fail_read(self, at: int) -> "FaultInjector":
+        """Schedule an IO error on the ``at``-th checkpoint read."""
+        self.faults.append(Fault("checkpoint_read", at))
+        return self
+
+    def nan_loss(self, at: int) -> "FaultInjector":
+        """Replace the ``at``-th observed loss with NaN."""
+        self.faults.append(Fault("loss", at))
+        return self
+
+    def preempt(self, at: int) -> "FaultInjector":
+        """Simulate preemption right after the ``at``-th training step."""
+        self.faults.append(Fault("step", at))
+        return self
+
+    # ------------------------------------------------------------------
+    # Sites (called by the runtime)
+    # ------------------------------------------------------------------
+    def _visit(self, site: str) -> bool:
+        self._counts[site] += 1
+        count = self._counts[site]
+        hit = any(f.site == site and f.at == count for f in self.faults)
+        if (
+            not hit
+            and self.io_failure_rate > 0.0
+            and site in ("checkpoint_write", "checkpoint_read")
+        ):
+            hit = bool(self._rng.random() < self.io_failure_rate)
+        if hit:
+            self.triggered.append((site, count))
+        return hit
+
+    def on_checkpoint_write(self, path: str | os.PathLike) -> None:
+        """Raise an injected ``OSError`` if this write is scheduled to fail."""
+        if self._visit("checkpoint_write"):
+            raise OSError(f"injected IO error writing {os.fspath(path)}")
+
+    def on_checkpoint_read(self, path: str | os.PathLike) -> None:
+        """Raise an injected ``OSError`` if this read is scheduled to fail."""
+        if self._visit("checkpoint_read"):
+            raise OSError(f"injected IO error reading {os.fspath(path)}")
+
+    def loss_value(self, value: float) -> float:
+        """Pass a loss through; returns NaN when the fault fires."""
+        if self._visit("loss"):
+            return float("nan")
+        return value
+
+    def on_step(self) -> None:
+        """Raise :class:`SimulatedPreemption` when the fault fires."""
+        if self._visit("step"):
+            raise SimulatedPreemption(
+                f"injected preemption after step {self._counts['step']}"
+            )
+
+    # ------------------------------------------------------------------
+    # File corruption helper (for tests)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def corrupt_file(
+        path: str | os.PathLike,
+        *,
+        truncate_to: int | None = None,
+        flip_byte_at: int | None = None,
+    ) -> None:
+        """Damage a file in place: truncate it and/or flip one byte.
+
+        With no keyword, truncates to half its size — the classic
+        "machine died mid-write of a non-atomic checkpoint" shape.
+        """
+        path = os.fspath(path)
+        size = os.path.getsize(path)
+        if truncate_to is None and flip_byte_at is None:
+            truncate_to = size // 2
+        if truncate_to is not None:
+            with open(path, "r+b") as handle:
+                handle.truncate(truncate_to)
+        if flip_byte_at is not None:
+            if not 0 <= flip_byte_at < size:
+                raise ValueError(f"flip offset {flip_byte_at} outside file of {size} bytes")
+            with open(path, "r+b") as handle:
+                handle.seek(flip_byte_at)
+                byte = handle.read(1)
+                handle.seek(flip_byte_at)
+                handle.write(bytes([byte[0] ^ 0xFF]))

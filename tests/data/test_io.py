@@ -5,7 +5,12 @@ import json
 import numpy as np
 import pytest
 
-from repro.data.io import read_csv_log, read_jsonl_log, write_csv_log
+from repro.data.io import (
+    MalformedRowsSkipped,
+    read_csv_log,
+    read_jsonl_log,
+    write_csv_log,
+)
 from repro.data.log import InteractionLog
 from repro.data.preprocessing import SequenceDataset
 
@@ -130,3 +135,70 @@ class TestRoundTrip:
         dataset = SequenceDataset.from_log(read_csv_log(path))
         assert dataset.num_users == 6
         assert dataset.num_items == 5
+
+
+class TestLenientCsv:
+    def malformed_csv(self, tmp_path):
+        path = tmp_path / "dirty.csv"
+        path.write_text(
+            "user_id,item_id,timestamp\n"
+            "u1,i1,100.0\n"
+            "u1,i2\n"                       # too few fields
+            "u2,i1,150.0,extra,extra\n"     # too many fields
+            "u2,i2,not-a-number\n"          # unparsable timestamp
+            "u2,i3,200.0\n"
+        )
+        return path
+
+    def test_strict_raises_with_line_number(self, tmp_path):
+        path = self.malformed_csv(tmp_path)
+        with pytest.raises(ValueError, match=":3:"):
+            read_csv_log(path)
+
+    def test_lenient_skips_and_counts(self, tmp_path):
+        path = self.malformed_csv(tmp_path)
+        with pytest.warns(MalformedRowsSkipped) as captured:
+            log = read_csv_log(path, strict=False)
+        assert len(log) == 2  # the good rows survive
+        warning = captured[0].message
+        assert warning.skipped == 3
+        assert warning.path == str(path)
+
+    def test_lenient_clean_file_does_not_warn(self, csv_file):
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error", MalformedRowsSkipped)
+            log = read_csv_log(csv_file, strict=False)
+        assert len(log) == 3
+
+    def test_missing_column_raises_even_lenient(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("user_id,item_id\n1,2\n")
+        with pytest.raises(ValueError, match="timestamp"):
+            read_csv_log(path, strict=False)
+
+
+class TestLenientJsonl:
+    def malformed_jsonl(self, tmp_path):
+        path = tmp_path / "dirty.jsonl"
+        path.write_text(
+            '{"user_id": 1, "item_id": 2, "timestamp": 3}\n'
+            '{"user_id": 1, "item_id": 4, "time\n'   # truncated mid-line
+            '[1, 2, 3]\n'                             # not an object
+            '{"user_id": 2, "item_id": 2}\n'          # missing timestamp
+            '{"user_id": 2, "item_id": 4, "timestamp": 5}\n'
+        )
+        return path
+
+    def test_strict_raises_on_bad_json_with_line(self, tmp_path):
+        path = self.malformed_jsonl(tmp_path)
+        with pytest.raises(ValueError, match=":2: bad JSON"):
+            read_jsonl_log(path)
+
+    def test_lenient_skips_and_counts(self, tmp_path):
+        path = self.malformed_jsonl(tmp_path)
+        with pytest.warns(MalformedRowsSkipped) as captured:
+            log = read_jsonl_log(path, strict=False)
+        assert len(log) == 2
+        assert captured[0].message.skipped == 3

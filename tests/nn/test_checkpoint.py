@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.nn.checkpoint import load_checkpoint, save_checkpoint
+from repro.nn.serialization import CheckpointError
 from repro.nn.layers import Linear
 from repro.nn.module import Module
 from repro.nn.optim import SGD, Adam
@@ -52,9 +53,11 @@ class TestCheckpointRoundTrip:
         fresh_opt = Adam(fresh_net.parameters(), lr=0.5)
         load_checkpoint(path, fresh_net, fresh_opt)
         assert fresh_opt.lr == 0.01
-        assert fresh_opt._step_count == optimizer._step_count
-        for a, b in zip(optimizer._m, fresh_opt._m):
-            np.testing.assert_array_equal(a, b)
+        restored = fresh_opt.state_dict()
+        for name, values in optimizer.state_dict().items():
+            np.testing.assert_array_equal(
+                np.asarray(values), np.asarray(restored[name]), err_msg=name
+            )
 
     def test_resume_equals_uninterrupted(self, tmp_path):
         """Train 10 steps straight vs. 5 + checkpoint + 5 — identical."""
@@ -98,8 +101,11 @@ class TestCheckpointRoundTrip:
         fresh = Net(seed=5)
         fresh_opt = SGD(fresh.parameters(), lr=0.5, momentum=0.9)
         load_checkpoint(path, fresh, fresh_opt)
-        for a, b in zip(optimizer._velocity, fresh_opt._velocity):
-            np.testing.assert_array_equal(a, b)
+        restored = fresh_opt.state_dict()
+        for name, values in optimizer.state_dict().items():
+            np.testing.assert_array_equal(
+                np.asarray(values), np.asarray(restored[name]), err_msg=name
+            )
 
     def test_extras_round_trip(self, tmp_path):
         net = Net()
@@ -123,3 +129,42 @@ class TestCheckpointRoundTrip:
         adam_net = Net()
         with pytest.raises(ValueError):
             load_checkpoint(path, adam_net, Adam(adam_net.parameters(), lr=0.1))
+
+
+class WiderNet(Module):
+    def __init__(self):
+        super().__init__()
+        self.layer = Linear(8, 3, rng=np.random.default_rng(0))
+
+    def forward(self, x):
+        return self.layer(x)
+
+
+class TestCheckpointErrors:
+    """Mismatch and corruption failures name the offending file."""
+
+    def test_checkpoint_error_is_a_value_error(self):
+        assert issubclass(CheckpointError, ValueError)
+
+    def test_shape_mismatch_names_the_path(self, tmp_path):
+        path = tmp_path / "small.npz"
+        save_checkpoint(path, Net())
+        with pytest.raises(CheckpointError, match="small.npz") as excinfo:
+            load_checkpoint(path, WiderNet())
+        assert "different configuration" in str(excinfo.value)
+
+    def test_kind_mismatch_names_the_path(self, tmp_path):
+        net = Net()
+        path = tmp_path / "sgd.npz"
+        save_checkpoint(path, net, SGD(net.parameters(), lr=0.1))
+        other = Net()
+        with pytest.raises(CheckpointError, match="sgd.npz"):
+            load_checkpoint(path, other, Adam(other.parameters(), lr=0.1))
+
+    def test_truncated_archive_names_the_path(self, tmp_path):
+        path = tmp_path / "cut.npz"
+        save_checkpoint(path, Net())
+        with open(path, "r+b") as handle:
+            handle.truncate(20)
+        with pytest.raises(CheckpointError, match="cut.npz"):
+            load_checkpoint(path, Net())

@@ -165,3 +165,87 @@ class TestGradientClipper:
     def test_validation(self):
         with pytest.raises(ValueError):
             GradientClipper([make_param([1.0])], max_norm=0.0)
+
+
+class TestOptimizerStateDict:
+    """Public persistence API — no private buffer access required."""
+
+    def drive(self, opt, param, grads):
+        for g in grads:
+            param.grad = np.asarray(g, dtype=np.float64)
+            opt.step()
+
+    def test_adam_round_trip_continues_identically(self):
+        grads = [[0.4], [-0.2], [0.7]]
+        straight_p = make_param([0.5])
+        straight = Adam([straight_p], lr=0.1)
+        self.drive(straight, straight_p, grads * 2)
+
+        first_p = make_param([0.5])
+        first = Adam([first_p], lr=0.1)
+        self.drive(first, first_p, grads)
+        state = first.state_dict()
+
+        resumed_p = make_param(first_p.data.copy())
+        resumed = Adam([resumed_p], lr=0.9)  # wrong lr, restored below
+        resumed.load_state_dict(state)
+        assert resumed.lr == 0.1
+        self.drive(resumed, resumed_p, grads)
+        np.testing.assert_allclose(resumed_p.data, straight_p.data, atol=1e-15)
+
+    def test_sgd_round_trip_restores_velocity(self):
+        p = make_param([0.0, 1.0])
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        self.drive(opt, p, [[1.0, -1.0], [0.5, 0.5]])
+        state = opt.state_dict()
+
+        q = make_param([0.0, 1.0])
+        fresh = SGD([q], lr=0.1, momentum=0.9)
+        fresh.load_state_dict(state)
+        restored = fresh.state_dict()
+        for name, values in state.items():
+            np.testing.assert_array_equal(
+                np.asarray(values), np.asarray(restored[name]), err_msg=name
+            )
+
+    def test_kind_recorded(self):
+        p = make_param([1.0])
+        assert str(Adam([p], lr=0.1).state_dict()["__kind__"]) == "adam"
+        assert str(SGD([p], lr=0.1).state_dict()["__kind__"]) == "sgd"
+
+    def test_kind_mismatch_rejected(self):
+        p = make_param([1.0])
+        state = SGD([p], lr=0.1).state_dict()
+        with pytest.raises(ValueError, match="sgd"):
+            Adam([make_param([1.0])], lr=0.1).load_state_dict(state)
+
+    def test_state_is_a_copy_safe_snapshot(self):
+        """Checkpointing must not alias live Adam moment buffers."""
+        p = make_param([1.0])
+        opt = Adam([p], lr=0.1)
+        p.grad = np.array([1.0])
+        opt.step()
+        state = {k: np.array(v, copy=True) for k, v in opt.state_dict().items()}
+        p.grad = np.array([5.0])
+        opt.step()
+        fresh = Adam([make_param([1.0])], lr=0.1)
+        fresh.load_state_dict(state)
+        assert float(fresh.state_dict()["__step__"]) == 1.0
+
+
+class TestScheduleStateDict:
+    def test_round_trip_restores_decayed_lr(self):
+        p = make_param([1.0])
+        opt = Adam([p], lr=1.0)
+        sched = LinearDecaySchedule(opt, total_steps=10, final_factor=0.0)
+        for __ in range(4):
+            sched.step()
+        state = sched.state_dict()
+        decayed_lr = opt.lr
+
+        other_p = make_param([1.0])
+        other_opt = Adam([other_p], lr=1.0)
+        other = LinearDecaySchedule(other_opt, total_steps=10, final_factor=0.0)
+        other.load_state_dict(state)
+        assert int(other.state_dict()["step"]) == 4
+        assert other_opt.lr == pytest.approx(decayed_lr)

@@ -1,0 +1,122 @@
+"""FaultInjector: deterministic schedules, seeded randomness, corruption."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.runtime import Fault, FaultInjector, SimulatedPreemption
+
+pytestmark = pytest.mark.fault_injection
+
+
+class TestFaultValidation:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="site"):
+            Fault(site="gpu_meltdown", at=1)
+
+    def test_occurrence_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Fault(site="loss", at=0)
+
+
+class TestScheduledFaults:
+    def test_nan_hits_exactly_the_nth_loss(self):
+        injector = FaultInjector().nan_loss(at=3)
+        values = [injector.loss_value(0.5) for __ in range(5)]
+        assert [math.isnan(v) for v in values] == [False, False, True, False, False]
+
+    def test_write_fault_counts_occurrences(self, tmp_path):
+        injector = FaultInjector().fail_write(at=2)
+        injector.on_checkpoint_write(tmp_path / "a.npz")  # 1st: fine
+        with pytest.raises(OSError, match="injected IO error"):
+            injector.on_checkpoint_write(tmp_path / "b.npz")
+        injector.on_checkpoint_write(tmp_path / "c.npz")  # 3rd: fine again
+
+    def test_read_fault_names_the_path(self, tmp_path):
+        injector = FaultInjector().fail_read(at=1)
+        with pytest.raises(OSError, match="special.npz"):
+            injector.on_checkpoint_read(tmp_path / "special.npz")
+
+    def test_preemption_at_exact_step(self):
+        injector = FaultInjector().preempt(at=3)
+        injector.on_step()
+        injector.on_step()
+        with pytest.raises(SimulatedPreemption):
+            injector.on_step()
+        injector.on_step()  # one-shot: the run may be resumed afterwards
+
+    def test_triggered_log_records_what_fired(self):
+        injector = FaultInjector().nan_loss(at=1).preempt(at=2)
+        injector.loss_value(1.0)
+        injector.on_step()
+        with pytest.raises(SimulatedPreemption):
+            injector.on_step()
+        sites = [site for site, __ in injector.triggered]
+        assert sites == ["loss", "step"]
+
+    def test_sites_are_independent(self):
+        injector = FaultInjector().nan_loss(at=2)
+        injector.on_step()  # advances 'step', not 'loss'
+        assert injector.loss_value(1.0) == 1.0
+        assert math.isnan(injector.loss_value(1.0))
+
+
+class TestRandomIOFaults:
+    def test_same_seed_same_failures(self, tmp_path):
+        def failure_pattern(seed):
+            injector = FaultInjector(io_failure_rate=0.3, seed=seed)
+            pattern = []
+            for i in range(40):
+                try:
+                    injector.on_checkpoint_write(tmp_path / f"{i}.npz")
+                    pattern.append(False)
+                except OSError:
+                    pattern.append(True)
+            return pattern
+
+        first, second = failure_pattern(7), failure_pattern(7)
+        assert first == second
+        assert any(first) and not all(first)
+
+    def test_different_seed_different_failures(self, tmp_path):
+        def failure_pattern(seed):
+            injector = FaultInjector(io_failure_rate=0.3, seed=seed)
+            pattern = []
+            for i in range(40):
+                try:
+                    injector.on_checkpoint_write(tmp_path / f"{i}.npz")
+                    pattern.append(False)
+                except OSError:
+                    pattern.append(True)
+            return pattern
+
+        assert failure_pattern(1) != failure_pattern(2)
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            FaultInjector(io_failure_rate=1.5)
+
+
+class TestCorruptFile:
+    def test_default_truncates_to_half(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        path.write_bytes(bytes(range(100)))
+        FaultInjector.corrupt_file(path)
+        assert path.stat().st_size == 50
+
+    def test_truncate_to_exact_size(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        path.write_bytes(bytes(range(100)))
+        FaultInjector.corrupt_file(path, truncate_to=10)
+        assert path.stat().st_size == 10
+
+    def test_bit_flip_changes_one_byte(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        original = bytes(range(100))
+        path.write_bytes(original)
+        FaultInjector.corrupt_file(path, flip_byte_at=42)
+        corrupted = path.read_bytes()
+        assert len(corrupted) == 100
+        diffs = [i for i in range(100) if corrupted[i] != original[i]]
+        assert diffs == [42]

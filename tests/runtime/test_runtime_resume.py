@@ -1,0 +1,305 @@
+"""Bit-exact resume: kill a run, restart it, get the identical result."""
+
+import signal
+
+import numpy as np
+import pytest
+
+from repro.core.trainer import pretrain_contrastive, train_joint
+from repro.models.training import train_next_item_model
+from repro.runtime import (
+    CheckpointError,
+    CheckpointManager,
+    FaultInjector,
+    TrainingInterrupted,
+    TrainingRuntime,
+    capture_rng_states,
+    restore_rng_states,
+)
+
+pytestmark = pytest.mark.fault_injection
+
+
+def make_runtime(directory, faults=None, **kwargs):
+    kwargs.setdefault("handle_signals", False)
+    return TrainingRuntime(CheckpointManager(directory, keep=3), faults=faults, **kwargs)
+
+
+def assert_params_equal(model_a, model_b):
+    state_a, state_b = model_a.state_dict(), model_b.state_dict()
+    assert state_a.keys() == state_b.keys()
+    for name in state_a:
+        np.testing.assert_array_equal(state_a[name], state_b[name], err_msg=name)
+
+
+class TestJointResume:
+    def test_kill_and_resume_is_bit_exact(self, tiny_dataset, build_model, tmp_path):
+        straight = build_model()
+        losses_straight = train_joint(
+            straight, tiny_dataset, straight.cl_config.joint, rng=straight._rng
+        )
+
+        killed = build_model()
+        with pytest.raises(TrainingInterrupted):
+            train_joint(
+                killed,
+                tiny_dataset,
+                killed.cl_config.joint,
+                rng=killed._rng,
+                runtime=make_runtime(tmp_path, faults=FaultInjector().preempt(at=8)),
+            )
+
+        resumed = build_model()
+        runtime = make_runtime(tmp_path)
+        losses_resumed = train_joint(
+            resumed, tiny_dataset, resumed.cl_config.joint, rng=resumed._rng, runtime=runtime
+        )
+
+        assert runtime.resumed_from is not None
+        assert losses_resumed == losses_straight
+        assert_params_equal(straight, resumed)
+
+    def test_corrupt_newest_checkpoint_falls_back_and_finishes(
+        self, tiny_dataset, build_model, tmp_path
+    ):
+        """ISSUE acceptance: kill mid-epoch, corrupt the newest archive,
+        and the run still resumes from the previous valid checkpoint."""
+        straight = build_model()
+        losses_straight = train_joint(
+            straight, tiny_dataset, straight.cl_config.joint, rng=straight._rng
+        )
+
+        killed = build_model()
+        with pytest.raises(TrainingInterrupted):
+            train_joint(
+                killed,
+                tiny_dataset,
+                killed.cl_config.joint,
+                rng=killed._rng,
+                runtime=make_runtime(tmp_path, faults=FaultInjector().preempt(at=5)),
+            )
+
+        manager = CheckpointManager(tmp_path, keep=3)
+        steps = manager.steps()
+        assert len(steps) >= 2, "need an older checkpoint to fall back to"
+        FaultInjector.corrupt_file(manager.path_for(steps[-1]), flip_byte_at=128)
+
+        resumed = build_model()
+        runtime = TrainingRuntime(manager, handle_signals=False)
+        losses_resumed = train_joint(
+            resumed, tiny_dataset, resumed.cl_config.joint, rng=resumed._rng, runtime=runtime
+        )
+
+        assert runtime.resumed_from == steps[-2]
+        assert manager.skipped, "the corrupt newest checkpoint must be recorded"
+        assert len(losses_resumed) == resumed.cl_config.joint.epochs
+        assert all(np.isfinite(losses_resumed))
+        # Epoch-boundary checkpoints + captured RNG state: replaying from
+        # the older checkpoint reproduces the straight run exactly.
+        assert losses_resumed == losses_straight
+        assert_params_equal(straight, resumed)
+
+    def test_resume_after_completion_is_a_no_op(self, tiny_dataset, build_model, tmp_path):
+        first = build_model()
+        losses = train_joint(
+            first,
+            tiny_dataset,
+            first.cl_config.joint,
+            rng=first._rng,
+            runtime=make_runtime(tmp_path),
+        )
+
+        again = build_model()
+        runtime = make_runtime(tmp_path)
+        losses_again = train_joint(
+            again, tiny_dataset, again.cl_config.joint, rng=again._rng, runtime=runtime
+        )
+        assert runtime.resumed_from == first.cl_config.joint.epochs
+        # No additional epochs ran: the restored history did not grow.
+        assert losses_again == losses
+        assert_params_equal(first, again)
+
+    def test_resume_false_starts_fresh(self, tiny_dataset, build_model, tmp_path):
+        first = build_model()
+        train_joint(
+            first,
+            tiny_dataset,
+            first.cl_config.joint,
+            rng=first._rng,
+            runtime=make_runtime(tmp_path),
+        )
+        fresh = build_model()
+        runtime = make_runtime(tmp_path, resume=False)
+        train_joint(
+            fresh, tiny_dataset, fresh.cl_config.joint, rng=fresh._rng, runtime=runtime
+        )
+        assert runtime.resumed_from is None
+        assert runtime.global_step > 0
+
+    def test_checkpoint_from_other_model_raises_checkpoint_error(
+        self, tiny_dataset, build_model, tmp_path
+    ):
+        """Resuming into a differently-shaped model names the directory."""
+        from tests.runtime.conftest import tiny_cl4srec_config
+
+        from repro.core.cl4srec import CL4SRec
+
+        small = build_model()
+        train_joint(
+            small,
+            tiny_dataset,
+            small.cl_config.joint,
+            rng=small._rng,
+            runtime=make_runtime(tmp_path),
+        )
+        config = tiny_cl4srec_config()
+        config.sasrec.dim = 32  # incompatible with the dim-16 checkpoints
+        big = CL4SRec(tiny_dataset, config)
+        with pytest.raises(CheckpointError, match=str(tmp_path)):
+            train_joint(
+                big,
+                tiny_dataset,
+                big.cl_config.joint,
+                rng=big._rng,
+                runtime=make_runtime(tmp_path),
+            )
+
+    def test_failed_periodic_write_does_not_kill_training(
+        self, tiny_dataset, build_model, tmp_path
+    ):
+        model = build_model()
+        runtime = make_runtime(tmp_path, faults=FaultInjector().fail_write(at=1))
+        losses = train_joint(
+            model, tiny_dataset, model.cl_config.joint, rng=model._rng, runtime=runtime
+        )
+        assert len(losses) == model.cl_config.joint.epochs
+        assert len(runtime.write_failures) == 1
+        assert "injected IO error" in runtime.write_failures[0]
+        # Later epochs still checkpointed fine.
+        assert CheckpointManager(tmp_path).latest_step() == model.cl_config.joint.epochs
+
+
+class TestPretrainResume:
+    def test_kill_and_resume_is_bit_exact(self, tiny_dataset, build_model, tmp_path):
+        straight = build_model(mode="pretrain_finetune")
+        hist_straight = pretrain_contrastive(
+            straight, tiny_dataset, straight.cl_config.pretrain, rng=straight._rng
+        )
+
+        killed = build_model(mode="pretrain_finetune")
+        with pytest.raises(TrainingInterrupted):
+            pretrain_contrastive(
+                killed,
+                tiny_dataset,
+                killed.cl_config.pretrain,
+                rng=killed._rng,
+                runtime=make_runtime(tmp_path, faults=FaultInjector().preempt(at=5)),
+            )
+
+        resumed = build_model(mode="pretrain_finetune")
+        runtime = make_runtime(tmp_path)
+        hist_resumed = pretrain_contrastive(
+            resumed,
+            tiny_dataset,
+            resumed.cl_config.pretrain,
+            rng=resumed._rng,
+            runtime=runtime,
+        )
+
+        assert runtime.resumed_from is not None
+        assert hist_resumed.losses == hist_straight.losses
+        assert hist_resumed.accuracies == hist_straight.accuracies
+        assert_params_equal(straight, resumed)
+
+
+class TestNextItemResume:
+    def test_kill_and_resume_is_bit_exact(self, tiny_dataset, build_model, tmp_path):
+        """The satellite criterion: straight-through training vs. killed
+        + resumed training produce identical parameters and identical
+        TrainingHistory tails — with two live generators (loop rng and
+        the model's dropout rng) both captured in the checkpoint."""
+        straight = build_model()
+        hist_straight = train_next_item_model(
+            straight, tiny_dataset, straight.cl_config.sasrec.train
+        )
+
+        killed = build_model()
+        with pytest.raises(TrainingInterrupted):
+            train_next_item_model(
+                killed,
+                tiny_dataset,
+                killed.cl_config.sasrec.train,
+                runtime=make_runtime(tmp_path, faults=FaultInjector().preempt(at=7)),
+            )
+
+        resumed = build_model()
+        runtime = make_runtime(tmp_path)
+        hist_resumed = train_next_item_model(
+            resumed, tiny_dataset, resumed.cl_config.sasrec.train, runtime=runtime
+        )
+
+        assert runtime.resumed_from is not None
+        assert hist_resumed.losses == hist_straight.losses
+        assert hist_resumed.valid_scores == hist_straight.valid_scores
+        assert_params_equal(straight, resumed)
+
+    def test_early_stopping_state_survives_resume(self, tiny_dataset, build_model, tmp_path):
+        """A run that already early-stopped must not train further when
+        resumed, and must keep its best-validation parameters."""
+        config = build_model().cl_config.sasrec.train
+        config.eval_every = 1
+        config.patience = 1
+        config.epochs = 6
+        # A frozen model never improves validation HR, so the patience
+        # countdown expires deterministically after the second eval.
+        config.learning_rate = 1e-12
+
+        first = build_model()
+        hist_first = train_next_item_model(
+            first, tiny_dataset, config, runtime=make_runtime(tmp_path)
+        )
+        assert hist_first.stopped_early
+
+        again = build_model()
+        runtime = make_runtime(tmp_path)
+        hist_again = train_next_item_model(again, tiny_dataset, config, runtime=runtime)
+        assert hist_again.stopped_early
+        assert hist_again.best_epoch == hist_first.best_epoch
+        assert hist_again.losses == hist_first.losses
+        assert_params_equal(first, again)
+
+
+class TestSignals:
+    def test_sigint_sets_flag_and_restores_handler(self, tmp_path):
+        runtime = TrainingRuntime(CheckpointManager(tmp_path), handle_signals=True)
+        previous = signal.getsignal(signal.SIGINT)
+        with runtime.session():
+            signal.raise_signal(signal.SIGINT)
+            assert runtime.interrupted
+        assert signal.getsignal(signal.SIGINT) is previous
+
+    def test_interrupt_flag_flushes_checkpoint(self, tiny_dataset, build_model, tmp_path):
+        model = build_model()
+        runtime = make_runtime(tmp_path)
+        runtime.interrupted = True  # as a signal handler would set it
+        with pytest.raises(TrainingInterrupted):
+            train_joint(
+                model, tiny_dataset, model.cl_config.joint, rng=model._rng, runtime=runtime
+            )
+        # The flush landed: a resume can pick the run back up.
+        assert CheckpointManager(tmp_path).load_latest_valid() is not None
+
+
+class TestRngStateRoundTrip:
+    def test_capture_restore(self):
+        rng_a, rng_b = np.random.default_rng(1), np.random.default_rng(2)
+        packed = capture_rng_states([rng_a, rng_b])
+        expected = (rng_a.random(5), rng_b.random(5))
+        restore_rng_states([rng_a, rng_b], packed)
+        np.testing.assert_array_equal(rng_a.random(5), expected[0])
+        np.testing.assert_array_equal(rng_b.random(5), expected[1])
+
+    def test_count_mismatch_raises(self):
+        packed = capture_rng_states([np.random.default_rng(0)])
+        with pytest.raises(CheckpointError, match="RNG states"):
+            restore_rng_states([np.random.default_rng(0), np.random.default_rng(1)], packed)
