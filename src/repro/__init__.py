@@ -59,6 +59,7 @@ from repro.eval import (
     evaluate_model,
     ranking_metrics,
     recommendation_diagnostics,
+    top_k_indices,
 )
 from repro.runtime import (
     CheckpointError,
@@ -83,6 +84,16 @@ from repro.models import (
     SASRecBPR,
     SASRecConfig,
     TrainConfig,
+    available_models,
+    build_model,
+    register_model,
+)
+from repro.serve import (
+    Recommendation,
+    RecommendationEngine,
+    RecommendationServer,
+    RecRequest,
+    ServingMetrics,
 )
 
 __version__ = "1.0.0"
@@ -118,18 +129,25 @@ __all__ = [
     "PairSampler",
     "Pop",
     "ProjectionHead",
+    "RecRequest",
+    "Recommendation",
+    "RecommendationEngine",
+    "RecommendationServer",
     "Recommender",
     "Reorder",
     "SASRec",
     "SASRecBPR",
     "SASRecConfig",
     "SequenceDataset",
+    "ServingMetrics",
     "SimulatedPreemption",
     "Substitute",
     "SyntheticConfig",
     "TrainConfig",
     "TrainingInterrupted",
     "TrainingRuntime",
+    "available_models",
+    "build_model",
     "dataset_names",
     "dataset_report",
     "evaluate_model",
@@ -143,6 +161,8 @@ __all__ = [
     "read_csv_log",
     "read_jsonl_log",
     "recommendation_diagnostics",
+    "register_model",
     "temporal_split",
+    "top_k_indices",
     "train_joint",
 ]

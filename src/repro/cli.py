@@ -9,6 +9,9 @@ Examples::
     python -m repro ablation --which temperature
     python -m repro train --dataset beauty --checkpoint-dir ckpts
     python -m repro train --dataset beauty --checkpoint-dir ckpts --resume
+    python -m repro serve --checkpoint ckpts/joint --requests-file reqs.jsonl
+    python -m repro serve --checkpoint ckpts/joint --port 8080
+    python -m repro recommend --checkpoint ckpts/joint --user 42 --k 10
 
 ``train`` runs CL4SRec under the fault-tolerant runtime: crash-safe
 rotating checkpoints, SIGTERM/SIGINT flush-and-exit (exit code 3), and
@@ -67,6 +70,120 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--pretrain-epochs", dest="pretrain_epochs", type=int)
     parser.add_argument("--seed", type=int)
     parser.add_argument("--output", help="also write the markdown to this file")
+
+
+def _add_serving_arguments(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by ``serve`` and ``recommend``: checkpoint + model."""
+    parser.add_argument(
+        "--checkpoint",
+        required=True,
+        help="checkpoint directory (newest valid archive) or .npz file",
+    )
+    parser.add_argument(
+        "--model",
+        default="CL4SRec",
+        help="registered model name matching the checkpoint (default: CL4SRec)",
+    )
+    parser.add_argument("--dataset", default="beauty")
+    parser.add_argument(
+        "--preset",
+        choices=sorted(PRESETS),
+        default="smoke",
+        help="scale preset the checkpoint was trained with (default: smoke)",
+    )
+    parser.add_argument("--dataset-scale", dest="dataset_scale", type=float)
+    parser.add_argument("--dim", type=int)
+    parser.add_argument("--max-length", dest="max_length", type=int)
+    parser.add_argument("--seed", type=int)
+    parser.add_argument(
+        "--max-batch-size", dest="max_batch_size", type=int, default=256
+    )
+    parser.add_argument("--cache-size", dest="cache_size", type=int, default=4096)
+
+
+def _build_engine(args: argparse.Namespace):
+    """Dataset + model + checkpoint → a ready RecommendationEngine."""
+    from repro.data.registry import load_dataset
+    from repro.models.registry import build_model
+    from repro.serve import RecommendationEngine
+
+    scale = _scale_from_args(args)
+    dataset = load_dataset(args.dataset, scale=scale.dataset_scale, seed=scale.seed)
+    model = build_model(args.model, dataset, scale)
+    return RecommendationEngine.from_checkpoint(
+        args.checkpoint,
+        model,
+        dataset,
+        max_batch_size=args.max_batch_size,
+        cache_size=args.cache_size,
+    )
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """The ``serve`` subcommand: batch-score a file or run HTTP."""
+    import json
+
+    from repro.serve import RecommendationServer, read_requests_file
+
+    if (args.requests_file is None) == (args.port is None):
+        print("serve: provide exactly one of --requests-file or --port",
+              file=sys.stderr)
+        return 2
+    engine = _build_engine(args)
+
+    if args.requests_file is not None:
+        requests = read_requests_file(args.requests_file)
+        results = engine.recommend_batch(requests)
+        lines = [json.dumps(r.to_dict(), sort_keys=True) for r in results]
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write("\n".join(lines) + "\n")
+            print(f"wrote {len(lines)} results to {args.output}")
+        else:
+            for line in lines:
+                print(line)
+        snapshot = engine.metrics.snapshot()
+        print(
+            f"served {len(results)} requests; cache hit rate "
+            f"{snapshot['cache']['hit_rate']:.2f}; total p50 "
+            f"{snapshot['latency']['total']['p50_ms']:.2f}ms",
+            file=sys.stderr,
+        )
+        if args.metrics_output:
+            with open(args.metrics_output, "w") as handle:
+                handle.write(engine.metrics.to_json() + "\n")
+            print(f"metrics written to {args.metrics_output}", file=sys.stderr)
+        return 0
+
+    server = RecommendationServer(engine, host=args.host, port=args.port)
+    host, port = server.address
+    print(f"serving {args.model} on http://{host}:{port} "
+          f"(POST /recommend, GET /metrics, GET /health)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        if args.metrics_output:
+            with open(args.metrics_output, "w") as handle:
+                handle.write(engine.metrics.to_json() + "\n")
+    return 0
+
+
+def _run_recommend(args: argparse.Namespace) -> int:
+    """The ``recommend`` subcommand: one request, JSON to stdout."""
+    import json
+
+    engine = _build_engine(args)
+    result = engine.recommend(
+        user=args.user,
+        sequence=args.sequence,
+        k=args.k,
+        exclude_seen=args.exclude_seen,
+    )
+    print(json.dumps(result.to_dict(), sort_keys=True))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -177,6 +294,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject a simulated preemption after N steps (fault testing)",
     )
     _add_scale_arguments(p_tr)
+
+    p_sv = sub.add_parser(
+        "serve", help="serve top-k recommendations from a checkpoint"
+    )
+    _add_serving_arguments(p_sv)
+    p_sv.add_argument(
+        "--requests-file",
+        dest="requests_file",
+        help="JSONL request file to score in batch (mutually exclusive "
+        "with --port)",
+    )
+    p_sv.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="run an HTTP server on this port instead of batch mode",
+    )
+    p_sv.add_argument("--host", default="127.0.0.1")
+    p_sv.add_argument(
+        "--output", help="write batch results (JSONL) here instead of stdout"
+    )
+    p_sv.add_argument(
+        "--metrics-output",
+        dest="metrics_output",
+        help="write the serving metrics snapshot (JSON) here on exit",
+    )
+
+    p_rc = sub.add_parser(
+        "recommend", help="one-shot top-k recommendation from a checkpoint"
+    )
+    _add_serving_arguments(p_rc)
+    group = p_rc.add_mutually_exclusive_group(required=True)
+    group.add_argument("--user", type=int, help="dataset user id")
+    group.add_argument(
+        "--sequence", nargs="+", type=int, help="raw item-id history"
+    )
+    p_rc.add_argument("--k", type=int, default=10)
+    p_rc.add_argument(
+        "--include-seen",
+        dest="exclude_seen",
+        action="store_false",
+        help="allow already-seen items in the top-k",
+    )
 
     p_rp = sub.add_parser(
         "report", help="stitch benchmarks/results/*.md into one report"
@@ -301,6 +461,10 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "train":
         return _run_train(args)
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "recommend":
+        return _run_recommend(args)
     if args.command == "table1":
         result = run_table1(scale=args.scale, seed=args.seed)
     elif args.command == "table2":

@@ -8,13 +8,20 @@ from repro.eval.diagnostics import (
     recommendation_diagnostics,
     top_k_lists,
 )
-from repro.eval.evaluator import EvaluationResult, Evaluator, evaluate_model
+from repro.eval.evaluator import (
+    EvaluationResult,
+    Evaluator,
+    candidate_scores,
+    evaluate_model,
+)
 from repro.eval.metrics import hit_ratio, mrr, ndcg, rank_of_target, ranking_metrics
 from repro.eval.temporal import evaluate_temporal
+from repro.eval.topk import top_k_indices, top_k_table
 
 __all__ = [
     "EvaluationResult",
     "Evaluator",
+    "candidate_scores",
     "catalog_coverage",
     "evaluate_model",
     "evaluate_temporal",
@@ -26,5 +33,7 @@ __all__ = [
     "rank_of_target",
     "ranking_metrics",
     "recommendation_diagnostics",
+    "top_k_indices",
     "top_k_lists",
+    "top_k_table",
 ]

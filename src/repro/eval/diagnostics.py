@@ -20,6 +20,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.data.preprocessing import SequenceDataset
+from repro.eval.evaluator import candidate_scores
+from repro.eval.topk import top_k_indices
 
 
 def top_k_lists(
@@ -40,13 +42,12 @@ def top_k_lists(
     for start in range(0, len(users), batch_size):
         batch = users[start : start + batch_size]
         scores = np.array(
-            model.score_users(dataset, batch, split=split), dtype=np.float64
+            candidate_scores(model, dataset, batch, split=split), dtype=np.float64
         )
         scores[:, 0] = -np.inf
         for row, user in enumerate(batch):
             scores[row, dataset.seen_items(int(user))] = -np.inf
-        order = np.argsort(-scores, axis=1)[:, :k]
-        lists[start : start + len(batch)] = order
+        lists[start : start + len(batch)] = top_k_indices(scores, k)
     return lists
 
 

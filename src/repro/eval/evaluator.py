@@ -18,6 +18,29 @@ from repro.eval.metrics import DEFAULT_KS, rank_of_target, ranking_metrics
 _NEG_INF = -np.inf
 
 
+def candidate_scores(
+    model,
+    dataset: SequenceDataset,
+    users: np.ndarray,
+    split: str = "test",
+    items: np.ndarray | None = None,
+) -> np.ndarray:
+    """Score ``items`` (``None`` = full catalogue) through a model.
+
+    Dispatches to the candidate-scoring entry point
+    (``score_items(dataset, users, items=None, split=...)``) and falls
+    back to the legacy full-matrix ``score_users`` for duck-typed
+    scorers that predate the redesign.
+    """
+    scorer = getattr(model, "score_items", None)
+    if scorer is not None:
+        return np.asarray(scorer(dataset, users, items=items, split=split))
+    full = np.asarray(model.score_users(dataset, users, split=split))
+    if items is None:
+        return full
+    return full[:, np.asarray(items, dtype=np.int64)]
+
+
 @dataclass
 class EvaluationResult:
     """Metrics plus the raw per-user ranks for deeper analysis."""
@@ -31,14 +54,17 @@ class EvaluationResult:
 
 
 class Evaluator:
-    """Evaluate any model exposing ``score_users`` on a dataset split.
+    """Evaluate any model exposing ``score_items`` on a dataset split.
 
     The model contract is::
 
-        score_users(dataset, users, split) -> np.ndarray  # (len(users), num_items + 1)
+        score_items(dataset, users, items=None, split) -> np.ndarray
+        # (len(users), num_items + 1) when items is None
 
     where column ``i`` is the score of item id ``i`` (column 0, the
-    padding id, is ignored).
+    padding id, is ignored).  Scorers that only implement the legacy
+    ``score_users(dataset, users, split)`` full-matrix entry point are
+    still accepted via :func:`candidate_scores`.
     """
 
     def __init__(
@@ -68,13 +94,13 @@ class Evaluator:
         for start in range(0, len(users), self.batch_size):
             batch_users = users[start : start + self.batch_size]
             scores = np.array(
-                model.score_users(self.dataset, batch_users, split=self.split),
+                candidate_scores(model, self.dataset, batch_users, split=self.split),
                 dtype=np.float64,
                 copy=True,
             )
             if scores.shape != (len(batch_users), self.dataset.num_items + 1):
                 raise ValueError(
-                    f"score_users returned shape {scores.shape}, expected "
+                    f"scoring returned shape {scores.shape}, expected "
                     f"({len(batch_users)}, {self.dataset.num_items + 1})"
                 )
             scores[:, 0] = _NEG_INF  # padding id is never a candidate

@@ -1,0 +1,63 @@
+"""Partial-sort top-k selection shared by evaluation and serving.
+
+Full ranking (``np.argsort``) is O(n log n) per user over the whole
+catalogue; a serving path that only ever returns the best ``k`` items
+can do O(n + k log k) instead via ``np.argpartition``.  This module is
+the single implementation both sides use, so the engine's output is
+guaranteed to match the evaluation protocol.
+
+Tie-breaking is deterministic: equal scores rank by ascending item
+index (i.e. the result matches ``np.argsort(-scores, kind="stable")``).
+One caveat inherited from ``argpartition``: when ties straddle the k-th
+position, *which* of the tied items enters the top-k is the partition's
+choice — identical scores at the boundary may select different (equally
+valid) items than a full sort.  On ties-free inputs the result is
+bit-identical to a full stable sort.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def top_k_indices(scores: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` largest entries, sorted by descending score.
+
+    Parameters
+    ----------
+    scores:
+        1-D ``(n,)`` or 2-D ``(batch, n)`` array; rows are ranked
+        independently along the last axis.
+    k:
+        Number of indices to return; clamped to ``n`` when larger.
+
+    Returns
+    -------
+    ``(k,)`` or ``(batch, k)`` int64 indices, best first.  Equal scores
+    order by ascending index (stable).
+    """
+    scores = np.asarray(scores)
+    if k < 1:
+        raise ValueError(f"k must be positive, got {k}")
+    if scores.ndim not in (1, 2):
+        raise ValueError(f"scores must be 1-D or 2-D, got shape {scores.shape}")
+    n = scores.shape[-1]
+    k = min(k, n)
+    if k >= n:
+        return np.argsort(-scores, axis=-1, kind="stable").astype(np.int64)
+    partition = np.argpartition(-scores, k - 1, axis=-1)[..., :k]
+    # Canonicalize the (arbitrary) partition order so equal scores
+    # resolve by ascending original index under the stable sort below.
+    partition = np.sort(partition, axis=-1)
+    top_scores = np.take_along_axis(scores, partition, axis=-1)
+    order = np.argsort(-top_scores, axis=-1, kind="stable")
+    return np.take_along_axis(partition, order, axis=-1).astype(np.int64)
+
+
+def top_k_table(scores: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """``(indices, values)`` of the top-k entries per row, best first."""
+    scores = np.asarray(scores)
+    indices = top_k_indices(scores, k)
+    if scores.ndim == 1:
+        return indices, scores[indices]
+    return indices, np.take_along_axis(scores, indices, axis=-1)

@@ -1,176 +1,25 @@
-"""Build any of the paper's seven methods from a name + scale preset."""
+"""Build any of the paper's methods from a name + scale preset.
+
+The actual registry lives in :mod:`repro.models.registry`; this module
+re-exports it so existing ``repro.experiments.factory`` imports keep
+working.  New code (and new models) should go through the registry
+directly — see ``docs/EXTENDING.md``.
+"""
 
 from __future__ import annotations
 
-from typing import Sequence
-
-from repro.core.cl4srec import CL4SRec, CL4SRecConfig
-from repro.core.momentum import MoCoCL4SRec
-from repro.core.trainer import ContrastivePretrainConfig, JointTrainConfig
-from repro.data.preprocessing import SequenceDataset
-from repro.experiments.config import ExperimentScale
-from repro.models.bert4rec import BERT4Rec, BERT4RecConfig
-from repro.models.bprmf import BPRMF, BPRMFConfig
-from repro.models.caser import Caser, CaserConfig
-from repro.models.fpmc import FPMC, FPMCConfig
-from repro.models.gru4rec import GRU4Rec, GRU4RecConfig
-from repro.models.ncf import NCF, NCFConfig
-from repro.models.pop import Pop
-from repro.models.sasrec import SASRec, SASRecConfig
-from repro.models.sasrec_bpr import SASRecBPR
-from repro.models.srgnn import SRGNN, SRGNNConfig
-from repro.models.training import TrainConfig
-
-MODEL_NAMES = (
-    "Pop",
-    "BPR-MF",
-    "NCF",
-    "GRU4Rec",
-    "SASRec",
-    "SASRec-BPR",
-    "CL4SRec",
+from repro.models.registry import (  # noqa: F401 - re-exports
+    EXTENSION_MODEL_NAMES,
+    MODEL_NAMES,
+    available_models,
+    build_model,
+    register_model,
 )
 
-# Extension baselines beyond the paper's Table 2.
-EXTENSION_MODEL_NAMES = ("FPMC", "Caser", "BERT4Rec", "SR-GNN", "MoCo-CL4SRec")
-
-
-def _train_config(scale: ExperimentScale) -> TrainConfig:
-    return TrainConfig(
-        epochs=scale.epochs,
-        batch_size=scale.batch_size,
-        max_length=scale.max_length,
-        seed=scale.seed,
-    )
-
-
-def _sasrec_config(scale: ExperimentScale) -> SASRecConfig:
-    return SASRecConfig(dim=scale.dim, train=_train_config(scale))
-
-
-def build_model(
-    name: str,
-    dataset: SequenceDataset,
-    scale: ExperimentScale,
-    augmentations: Sequence[str] = ("crop", "mask", "reorder"),
-    rates: Sequence[float] | float = 0.5,
-    distinct_pair: bool = False,
-    temperature: float = 1.0,
-    mode: str = "pretrain_finetune",
-    cl_weight: float = 0.1,
-):
-    """Instantiate a method by its Table-2 name (not yet fitted).
-
-    The CL4SRec-specific keyword arguments are ignored for baselines.
-    """
-    if name == "Pop":
-        return Pop()
-    if name == "BPR-MF":
-        return BPRMF(
-            BPRMFConfig(
-                dim=scale.dim,
-                epochs=scale.epochs,
-                batch_size=scale.batch_size * 4,
-                seed=scale.seed,
-            )
-        )
-    if name == "NCF":
-        return NCF(
-            NCFConfig(
-                dim=max(16, scale.dim // 2),
-                epochs=scale.epochs,
-                batch_size=scale.batch_size * 4,
-                seed=scale.seed,
-            )
-        )
-    if name == "FPMC":
-        return FPMC(
-            FPMCConfig(
-                dim=max(16, scale.dim // 2),
-                epochs=scale.epochs,
-                batch_size=scale.batch_size * 4,
-                seed=scale.seed,
-            )
-        )
-    if name == "SR-GNN":
-        return SRGNN(
-            dataset,
-            SRGNNConfig(
-                dim=max(16, scale.dim // 2),
-                max_length=min(20, scale.max_length),
-                epochs=scale.epochs,
-                batch_size=scale.batch_size,
-                seed=scale.seed,
-            ),
-        )
-    if name == "MoCo-CL4SRec":
-        base = build_model(
-            "CL4SRec",
-            dataset,
-            scale,
-            augmentations=augmentations,
-            rates=rates,
-            distinct_pair=distinct_pair,
-            temperature=temperature,
-            mode=mode,
-            cl_weight=cl_weight,
-        )
-        return MoCoCL4SRec(dataset, base.cl_config)
-    if name == "Caser":
-        return Caser(
-            dataset,
-            CaserConfig(
-                dim=max(16, scale.dim // 2),
-                epochs=scale.epochs,
-                batch_size=scale.batch_size * 2,
-                seed=scale.seed,
-            ),
-        )
-    if name == "BERT4Rec":
-        return BERT4Rec(
-            dataset,
-            BERT4RecConfig(
-                dim=scale.dim,
-                epochs=scale.epochs,
-                batch_size=scale.batch_size,
-                max_length=scale.max_length,
-                seed=scale.seed,
-            ),
-        )
-    if name == "GRU4Rec":
-        return GRU4Rec(
-            dataset,
-            GRU4RecConfig(
-                dim=scale.dim, hidden_dim=scale.dim, train=_train_config(scale)
-            ),
-        )
-    if name == "SASRec":
-        return SASRec(dataset, _sasrec_config(scale))
-    if name == "SASRec-BPR":
-        return SASRecBPR(dataset, _sasrec_config(scale))
-    if name == "CL4SRec":
-        config = CL4SRecConfig(
-            sasrec=_sasrec_config(scale),
-            augmentations=tuple(augmentations),
-            rates=rates,
-            distinct_pair=distinct_pair,
-            temperature=temperature,
-            mode=mode,
-            pretrain=ContrastivePretrainConfig(
-                epochs=scale.pretrain_epochs,
-                batch_size=scale.batch_size,
-                max_length=scale.max_length,
-                temperature=temperature,
-                seed=scale.seed,
-            ),
-            joint=JointTrainConfig(
-                epochs=scale.epochs,
-                batch_size=scale.batch_size,
-                max_length=scale.max_length,
-                temperature=temperature,
-                cl_weight=cl_weight,
-                seed=scale.seed,
-            ),
-        )
-        return CL4SRec(dataset, config)
-    raise ValueError(f"unknown model '{name}'; expected one of {MODEL_NAMES}")
+__all__ = [
+    "EXTENSION_MODEL_NAMES",
+    "MODEL_NAMES",
+    "available_models",
+    "build_model",
+    "register_model",
+]

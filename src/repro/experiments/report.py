@@ -28,6 +28,7 @@ SECTION_ORDER = (
     "ablation_convergence",
     "ablation_negatives",
     "extension_baselines",
+    "serving_throughput",
 )
 
 

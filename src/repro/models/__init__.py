@@ -28,6 +28,16 @@ from repro.models.sasrec_bpr import SASRecBPR
 from repro.models.srgnn import SRGNN, SRGNNConfig
 from repro.models.training import TrainConfig, TrainingHistory, train_next_item_model
 
+# Imported last: the registry pulls in repro.core (which itself imports
+# the model modules above).
+from repro.models.registry import (  # noqa: E402
+    EXTENSION_MODEL_NAMES,
+    MODEL_NAMES,
+    available_models,
+    build_model,
+    register_model,
+)
+
 __all__ = [
     "BERT4Rec",
     "BERT4RecConfig",
@@ -35,10 +45,12 @@ __all__ = [
     "BPRMFConfig",
     "Caser",
     "CaserConfig",
+    "EXTENSION_MODEL_NAMES",
     "FPMC",
     "FPMCConfig",
     "GRU4Rec",
     "GRU4RecConfig",
+    "MODEL_NAMES",
     "NCF",
     "NCFConfig",
     "Pop",
@@ -53,7 +65,10 @@ __all__ = [
     "SRGNNConfig",
     "TrainConfig",
     "TrainingHistory",
+    "available_models",
     "bpr_loss",
+    "build_model",
     "masked_next_item_bce",
+    "register_model",
     "train_next_item_model",
 ]

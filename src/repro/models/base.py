@@ -1,4 +1,4 @@
-"""The common recommender interface used by the evaluation harness."""
+"""The common recommender interface used by evaluation and serving."""
 
 from __future__ import annotations
 
@@ -7,15 +7,29 @@ import abc
 import numpy as np
 
 from repro.data.preprocessing import SequenceDataset
+from repro.eval.topk import top_k_indices
 
 
 class Recommender(abc.ABC):
     """Anything that can be fit on a :class:`SequenceDataset` and score items.
 
-    The scoring contract: ``score_users(dataset, users, split)`` returns
-    an array of shape ``(len(users), num_items + 1)`` where column ``i``
-    is the preference score for item id ``i`` (column 0 — the padding
-    id — is ignored by the evaluator).
+    The scoring contract centres on candidate-set scoring::
+
+        score_items(dataset, users, items=None, split) -> np.ndarray
+
+    With ``items=None`` (full-catalogue scoring) the result has shape
+    ``(len(users), num_items + 1)`` where column ``i`` is the preference
+    score for item id ``i`` (column 0 — the padding id — is ignored by
+    the evaluator).  With an explicit candidate array the result has
+    shape ``(len(users), len(items))`` and column ``j`` scores item
+    ``items[j]``, letting retrieval-then-rank pipelines skip the full
+    catalogue.
+
+    Implement :meth:`score_items`; :meth:`score_users` (the historical
+    full-matrix entry point) is provided as a thin compatibility
+    wrapper.  Legacy subclasses that only override ``score_users`` keep
+    working — the default ``score_items`` falls back to scoring the
+    full catalogue and gathering the candidate columns.
     """
 
     name: str = "recommender"
@@ -24,11 +38,29 @@ class Recommender(abc.ABC):
     def fit(self, dataset: SequenceDataset, **kwargs):
         """Train on the dataset's training sequences."""
 
-    @abc.abstractmethod
+    def score_items(
+        self,
+        dataset: SequenceDataset,
+        users: np.ndarray,
+        items: np.ndarray | None = None,
+        split: str = "test",
+    ) -> np.ndarray:
+        """Score candidate ``items`` (``None`` = full catalogue) per user."""
+        if type(self).score_users is Recommender.score_users:
+            raise NotImplementedError(
+                f"{type(self).__name__} implements neither score_items nor "
+                f"score_users"
+            )
+        full = np.asarray(self.score_users(dataset, users, split=split))
+        if items is None:
+            return full
+        return full[:, np.asarray(items, dtype=np.int64)]
+
     def score_users(
         self, dataset: SequenceDataset, users: np.ndarray, split: str = "test"
     ) -> np.ndarray:
-        """Score every item for each user in ``users``."""
+        """Full-catalogue scores — wrapper over :meth:`score_items`."""
+        return np.asarray(self.score_items(dataset, users, items=None, split=split))
 
     def recommend(
         self,
@@ -42,19 +74,22 @@ class Recommender(abc.ABC):
 
         With ``exclude_seen`` (default) items the user already
         interacted with are removed, mirroring the evaluation protocol.
+        Selection uses the shared partial-sort helper
+        (:func:`repro.eval.topk.top_k_indices`) rather than a full
+        ``argsort`` over the catalogue.
         """
         if k < 1:
             raise ValueError("k must be positive")
         scores = np.array(
-            self.score_users(dataset, np.asarray([user]), split=split),
+            self.score_items(dataset, np.asarray([user]), items=None, split=split),
             dtype=np.float64,
         )[0]
         scores[0] = -np.inf  # padding id
         if exclude_seen:
             scores[dataset.seen_items(int(user))] = -np.inf
-        ranked = np.argsort(-scores)
+        ranked = top_k_indices(scores, min(k, len(scores)))
         ranked = ranked[np.isfinite(scores[ranked])]  # drop masked items
-        return ranked[: min(k, len(ranked))]
+        return ranked[:k]
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"

@@ -150,20 +150,27 @@ class BERT4Rec(Module, Recommender):
         self.eval()
         return history
 
-    def score_users(
-        self, dataset: SequenceDataset, users: np.ndarray, split: str = "test"
+    def score_items(
+        self,
+        dataset: SequenceDataset,
+        users: np.ndarray,
+        items: np.ndarray | None = None,
+        split: str = "test",
     ) -> np.ndarray:
         """Append ``[mask]`` to each history and predict its filler."""
         users = np.asarray(users)
         sequences = [
             dataset.full_sequence(int(user), split=split) for user in users
         ]
-        return self.score_sequences(sequences, dataset.num_items)
+        if items is None:
+            return self.score_sequences(sequences, dataset.num_items)
+        vectors = self.item_embedding_matrix(dataset.num_items)[
+            np.asarray(items, dtype=np.int64)
+        ]
+        return self.encode_sequences(sequences) @ vectors.T
 
-    def score_sequences(
-        self, sequences: list[np.ndarray], num_items: int
-    ) -> np.ndarray:
-        """Score the vocabulary from raw histories (temporal protocol)."""
+    def encode_sequences(self, sequences: list[np.ndarray]) -> np.ndarray:
+        """Representation of the appended ``[mask]`` position per history."""
         t = self.config.max_length
         batch = np.zeros((len(sequences), t), dtype=np.int64)
         for row, sequence in enumerate(sequences):
@@ -172,8 +179,19 @@ class BERT4Rec(Module, Recommender):
         was_training = self.training
         self.eval()
         with no_grad():
-            representation = self.encoder(batch)[:, -1, :]
-            scores = self.encoder.score_all_items(representation, num_items).data
+            representation = self.encoder(batch)[:, -1, :].data
         if was_training:
             self.train()
-        return scores
+        return representation
+
+    def item_embedding_matrix(self, num_items: int) -> np.ndarray:
+        """Scoring matrix ``(num_items + 1, dim)``."""
+        return self.encoder.item_embedding.weight.data[: num_items + 1, :]
+
+    def score_sequences(
+        self, sequences: list[np.ndarray], num_items: int
+    ) -> np.ndarray:
+        """Score the vocabulary from raw histories (temporal protocol)."""
+        return self.encode_sequences(sequences) @ self.item_embedding_matrix(
+            num_items
+        ).T

@@ -188,8 +188,12 @@ class Caser(Module, Recommender):
     # ------------------------------------------------------------------
     # Inference
     # ------------------------------------------------------------------
-    def score_users(
-        self, dataset: SequenceDataset, users: np.ndarray, split: str = "test"
+    def score_items(
+        self,
+        dataset: SequenceDataset,
+        users: np.ndarray,
+        items: np.ndarray | None = None,
+        split: str = "test",
     ) -> np.ndarray:
         users = np.asarray(users)
         length = self.config.window
@@ -205,7 +209,9 @@ class Caser(Module, Recommender):
             joint = self._joint_representation(windows, users)  # (B, 2d)
             table = self.output_weight.weight[: dataset.num_items + 1, :]
             bias = self.output_bias.weight[: dataset.num_items + 1, :]
-            scores = joint.matmul(table.transpose()) + bias.transpose()
+            scores = (joint.matmul(table.transpose()) + bias.transpose()).data
         if was_training:
             self.train()
-        return scores.data
+        if items is None:
+            return scores
+        return scores[:, np.asarray(items, dtype=np.int64)]

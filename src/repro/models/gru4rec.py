@@ -43,6 +43,7 @@ class GRU4Rec(Module, Recommender):
     ) -> None:
         super().__init__()
         self.config = config if config is not None else GRU4RecConfig()
+        self.dataset_num_items = dataset.num_items
         rng = np.random.default_rng(self.config.train.seed)
         self.item_embedding = Embedding(dataset.vocab_size, self.config.dim, rng=rng)
         self.gru = GRU(
@@ -73,19 +74,25 @@ class GRU4Rec(Module, Recommender):
             config = TrainConfig(**{**config.__dict__, **overrides})
         return train_next_item_model(self, dataset, config, rng=self._rng)
 
-    def score_users(
-        self, dataset: SequenceDataset, users: np.ndarray, split: str = "test"
+    def score_items(
+        self,
+        dataset: SequenceDataset,
+        users: np.ndarray,
+        items: np.ndarray | None = None,
+        split: str = "test",
     ) -> np.ndarray:
+        """Candidate (or full-vocabulary) scores per user."""
         users = np.asarray(users)
         sequences = [
             dataset.full_sequence(int(user), split=split) for user in users
         ]
-        return self.score_sequences(sequences, dataset.num_items)
+        if items is None:
+            return self.score_sequences(sequences, dataset.num_items)
+        vectors = self.item_embedding_matrix()[np.asarray(items, dtype=np.int64)]
+        return self.encode_sequences(sequences) @ vectors.T
 
-    def score_sequences(
-        self, sequences: list[np.ndarray], num_items: int
-    ) -> np.ndarray:
-        """Score the vocabulary from raw histories (temporal protocol)."""
+    def encode_sequences(self, sequences: list[np.ndarray]) -> np.ndarray:
+        """Final GRU hidden states ``(len(sequences), hidden_dim)``."""
         t = self.config.train.max_length
         batch = np.zeros((len(sequences), t), dtype=np.int64)
         for row, sequence in enumerate(sequences):
@@ -94,9 +101,20 @@ class GRU4Rec(Module, Recommender):
         self.eval()
         with no_grad():
             hidden = self._hidden_states(batch)
-            representation = hidden[:, -1, :]
-            item_vectors = self.item_embedding.weight[: num_items + 1, :]
-            scores = representation.matmul(item_vectors.transpose()).data
+            representation = hidden[:, -1, :].data
         if was_training:
             self.train()
-        return scores
+        return representation
+
+    def item_embedding_matrix(self, num_items: int | None = None) -> np.ndarray:
+        """Scoring matrix ``(num_items + 1, dim)``."""
+        n = self.dataset_num_items if num_items is None else num_items
+        return self.item_embedding.weight.data[: n + 1, :]
+
+    def score_sequences(
+        self, sequences: list[np.ndarray], num_items: int
+    ) -> np.ndarray:
+        """Score the vocabulary from raw histories (temporal protocol)."""
+        return self.encode_sequences(sequences) @ self.item_embedding_matrix(
+            num_items
+        ).T

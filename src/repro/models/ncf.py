@@ -104,17 +104,24 @@ class NCF(Recommender):
                 optimizer.step()
         return self
 
-    def score_users(
-        self, dataset: SequenceDataset, users: np.ndarray, split: str = "test"
+    def score_items(
+        self,
+        dataset: SequenceDataset,
+        users: np.ndarray,
+        items: np.ndarray | None = None,
+        split: str = "test",
     ) -> np.ndarray:
         if self._net is None:
-            raise RuntimeError("NCF.fit must be called before score_users")
+            raise RuntimeError("NCF.fit must be called before scoring")
         users = np.asarray(users)
-        num_cols = dataset.num_items + 1
-        scores = np.zeros((len(users), num_cols))
-        item_ids = np.arange(num_cols)
+        item_ids = (
+            np.arange(dataset.num_items + 1)
+            if items is None
+            else np.asarray(items, dtype=np.int64)
+        )
+        scores = np.zeros((len(users), len(item_ids)))
         with no_grad():
             for row, user in enumerate(users):
-                user_ids = np.full(num_cols, user, dtype=np.int64)
+                user_ids = np.full(len(item_ids), user, dtype=np.int64)
                 scores[row] = self._net.logits(user_ids, item_ids).data
         return scores

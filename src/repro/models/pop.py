@@ -28,9 +28,18 @@ class Pop(Recommender):
         self._counts = counts
         return self
 
-    def score_users(
-        self, dataset: SequenceDataset, users: np.ndarray, split: str = "test"
+    def score_items(
+        self,
+        dataset: SequenceDataset,
+        users: np.ndarray,
+        items: np.ndarray | None = None,
+        split: str = "test",
     ) -> np.ndarray:
         if self._counts is None:
-            raise RuntimeError("Pop.fit must be called before score_users")
-        return np.tile(self._counts, (len(users), 1))
+            raise RuntimeError("Pop.fit must be called before scoring")
+        counts = (
+            self._counts
+            if items is None
+            else self._counts[np.asarray(items, dtype=np.int64)]
+        )
+        return np.tile(counts, (len(users), 1))

@@ -81,24 +81,29 @@ class SASRec(Module, Recommender):
     # ------------------------------------------------------------------
     # Inference
     # ------------------------------------------------------------------
-    def score_users(
-        self, dataset: SequenceDataset, users: np.ndarray, split: str = "test"
+    def score_items(
+        self,
+        dataset: SequenceDataset,
+        users: np.ndarray,
+        items: np.ndarray | None = None,
+        split: str = "test",
     ) -> np.ndarray:
-        """Full-vocabulary scores from the last-position representation."""
+        """Candidate (or full-vocabulary) scores per user."""
         users = np.asarray(users)
         sequences = [
             dataset.full_sequence(int(user), split=split) for user in users
         ]
-        return self.score_sequences(sequences, dataset.num_items)
+        if items is None:
+            return self.score_sequences(sequences, dataset.num_items)
+        vectors = self.item_embedding_matrix()[np.asarray(items, dtype=np.int64)]
+        return self.encode_sequences(sequences) @ vectors.T
 
-    def score_sequences(
-        self, sequences: list[np.ndarray], num_items: int
-    ) -> np.ndarray:
-        """Score the vocabulary given raw histories (no dataset needed).
+    def encode_sequences(self, sequences: list[np.ndarray]) -> np.ndarray:
+        """Last-position user representations ``(len(sequences), d)``.
 
-        This is the entry point protocols other than leave-one-out use
-        (e.g. the global temporal split), and what a serving layer would
-        call with a live session.
+        The serving engine calls this directly so it can cache the
+        representations and score them against a precomputed item
+        matrix; :meth:`score_sequences` composes the two.
         """
         t = self.config.train.max_length
         batch = np.zeros((len(sequences), t), dtype=np.int64)
@@ -107,8 +112,25 @@ class SASRec(Module, Recommender):
         was_training = self.training
         self.eval()
         with no_grad():
-            representation = self.encoder.user_representation(batch)
-            scores = self.encoder.score_all_items(representation, num_items).data
+            representation = self.encoder.user_representation(batch).data
         if was_training:
             self.train()
-        return scores
+        return representation
+
+    def item_embedding_matrix(self, num_items: int | None = None) -> np.ndarray:
+        """Scoring matrix ``(num_items + 1, d)`` — rows are item vectors."""
+        n = self.dataset_num_items if num_items is None else num_items
+        return self.encoder.item_embedding.weight.data[: n + 1, :]
+
+    def score_sequences(
+        self, sequences: list[np.ndarray], num_items: int
+    ) -> np.ndarray:
+        """Score the vocabulary given raw histories (no dataset needed).
+
+        This is the entry point protocols other than leave-one-out use
+        (e.g. the global temporal split), and what the serving layer
+        calls with a live session.
+        """
+        return self.encode_sequences(sequences) @ self.item_embedding_matrix(
+            num_items
+        ).T

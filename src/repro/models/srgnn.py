@@ -241,14 +241,21 @@ class SRGNN(Module, Recommender):
         self.eval()
         return history
 
-    def score_users(
-        self, dataset: SequenceDataset, users: np.ndarray, split: str = "test"
+    def score_items(
+        self,
+        dataset: SequenceDataset,
+        users: np.ndarray,
+        items: np.ndarray | None = None,
+        split: str = "test",
     ) -> np.ndarray:
         users = np.asarray(users)
         sequences = [
             dataset.full_sequence(int(user), split=split) for user in users
         ]
-        return self.score_sequences(sequences, dataset.num_items)
+        scores = self.score_sequences(sequences, dataset.num_items)
+        if items is None:
+            return scores
+        return scores[:, np.asarray(items, dtype=np.int64)]
 
     def score_sequences(
         self, sequences: list[np.ndarray], num_items: int

@@ -1,0 +1,44 @@
+"""Batched top-k serving for trained recommenders.
+
+The training side of the repo ends at a checkpoint; this package turns
+one into a recommendation service::
+
+    from repro.serve import RecommendationEngine
+
+    engine = RecommendationEngine.from_checkpoint(
+        "runs/beauty/joint", model, dataset
+    )
+    result = engine.recommend(user=42, k=10)
+
+See ``docs/SERVING.md`` for the architecture and the metrics schema,
+and ``python -m repro serve --help`` for the CLI entry point.
+"""
+
+from repro.serve.engine import (
+    EngineOverloaded,
+    LRUCache,
+    RecommendationEngine,
+    sequence_key,
+)
+from repro.serve.metrics import LatencyHistogram, ServingMetrics
+from repro.serve.requests import (
+    Recommendation,
+    RecRequest,
+    RequestError,
+    read_requests_file,
+)
+from repro.serve.server import RecommendationServer
+
+__all__ = [
+    "EngineOverloaded",
+    "LRUCache",
+    "LatencyHistogram",
+    "RecRequest",
+    "Recommendation",
+    "RecommendationEngine",
+    "RecommendationServer",
+    "RequestError",
+    "ServingMetrics",
+    "read_requests_file",
+    "sequence_key",
+]

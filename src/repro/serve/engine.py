@@ -1,0 +1,426 @@
+"""Batched top-k recommendation engine.
+
+The training side of the repo produces a checkpointed encoder; this
+module turns it into something that can serve traffic:
+
+* **Precomputed item matrix** — for encoders exposing
+  ``item_embedding_matrix`` (SASRec, CL4SRec, GRU4Rec, BERT4Rec) the
+  ``(num_items + 1, d)`` scoring matrix is materialized once at
+  construction; each request then costs one dense matvec instead of a
+  walk through the embedding table.
+* **Micro-batched encoding** — user representations are computed in
+  batches of ``max_batch_size`` sequences; :meth:`submit` coalesces
+  individual requests into those batches through a bounded queue.
+* **Representation cache** — an LRU keyed by the exact item-id
+  sequence; repeat visitors skip the Transformer forward entirely.
+* **Partial-sort top-k** — selection goes through the shared
+  :func:`repro.eval.topk.top_k_indices`, so served lists match the
+  evaluation protocol bit-for-bit (ties-free inputs).
+* **Metrics** — every stage is timed into
+  :class:`repro.serve.metrics.ServingMetrics`.
+
+Models that only expose ``score_sequences`` (e.g. SR-GNN) are served
+through a fallback backend: no precomputed matrix, the cache then holds
+full score rows instead of representations.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.data.preprocessing import SequenceDataset
+from repro.eval.topk import top_k_indices
+from repro.nn.serialization import CheckpointError
+from repro.serve.metrics import ServingMetrics
+from repro.serve.requests import Recommendation, RecRequest, RequestError
+
+_NEG_INF = -np.inf
+
+
+class EngineOverloaded(RuntimeError):
+    """The bounded request queue is full; shed load or flush first."""
+
+
+def sequence_key(sequence: np.ndarray) -> bytes:
+    """Exact cache key for an item-id sequence."""
+    return np.asarray(sequence, dtype=np.int64).tobytes()
+
+
+class LRUCache:
+    """A dict with least-recently-used eviction (maxsize bounded)."""
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self._data: OrderedDict[bytes, np.ndarray] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._data
+
+    def get(self, key: bytes) -> np.ndarray | None:
+        value = self._data.get(key)
+        if value is not None:
+            self._data.move_to_end(key)
+        return value
+
+    def put(self, key: bytes, value: np.ndarray) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+
+class RecommendationEngine:
+    """Serve top-k recommendations from a fitted (or checkpointed) model.
+
+    Parameters
+    ----------
+    model:
+        A sequential recommender exposing either the representation API
+        (``encode_sequences`` + ``item_embedding_matrix``) or, as a
+        fallback, ``score_sequences``.
+    dataset:
+        Supplies interaction histories for user-id requests and the
+        catalogue size.
+    max_batch_size:
+        Micro-batch size for encoding; also the auto-flush threshold of
+        the coalescing queue.
+    cache_size:
+        LRU capacity (number of distinct sequences) of the
+        representation cache.
+    max_queue:
+        Bound on queued-but-unfetched requests; :meth:`submit` raises
+        :class:`EngineOverloaded` beyond it.
+    split:
+        Which history to serve user-id requests from (mirrors the
+        evaluation protocol's ``split`` semantics; default ``"test"``,
+        i.e. the full known history).
+    metrics:
+        Optionally share a :class:`ServingMetrics` across engines.
+    """
+
+    def __init__(
+        self,
+        model,
+        dataset: SequenceDataset,
+        max_batch_size: int = 256,
+        cache_size: int = 4096,
+        max_queue: int = 8192,
+        split: str = "test",
+        metrics: ServingMetrics | None = None,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be positive, got {max_batch_size}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be positive, got {max_queue}")
+        self.model = model
+        self.dataset = dataset
+        self.max_batch_size = max_batch_size
+        self.max_queue = max_queue
+        self.split = split
+        self.metrics = metrics if metrics is not None else ServingMetrics()
+        self.cache = LRUCache(cache_size)
+
+        has_representation_api = hasattr(model, "encode_sequences") and hasattr(
+            model, "item_embedding_matrix"
+        )
+        if has_representation_api:
+            self._item_matrix = np.ascontiguousarray(
+                model.item_embedding_matrix(dataset.num_items)
+            )
+        elif hasattr(model, "score_sequences"):
+            self._item_matrix = None  # fallback: cache full score rows
+        else:
+            raise TypeError(
+                f"{type(model).__name__} exposes neither the representation "
+                f"API (encode_sequences + item_embedding_matrix) nor "
+                f"score_sequences; it cannot be served"
+            )
+
+        self._queue: list[RecRequest] = []
+        self._completed: list[Recommendation] = []
+
+        if hasattr(model, "eval"):
+            model.eval()
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_checkpoint(
+        cls,
+        checkpoint: str | os.PathLike,
+        model,
+        dataset: SequenceDataset,
+        **engine_kwargs,
+    ) -> "RecommendationEngine":
+        """Load weights from a PR-1 checkpoint and wrap them in an engine.
+
+        ``checkpoint`` is either a :class:`~repro.runtime.checkpointing.
+        CheckpointManager` directory (the newest *valid* archive is
+        used, skipping corrupt ones) or a single ``.npz`` archive
+        written by ``repro.nn.checkpoint.save_checkpoint`` /
+        ``repro.runtime``.  ``model`` must be built with the same
+        configuration the checkpoint was trained with (use
+        :func:`repro.models.registry.build_model`); a mismatch raises
+        :class:`~repro.nn.serialization.CheckpointError`.
+        """
+        checkpoint = os.fspath(checkpoint)
+        if os.path.isdir(checkpoint):
+            from repro.runtime.checkpointing import CheckpointManager
+
+            recovered = CheckpointManager(checkpoint).load_latest_valid()
+            if recovered is None:
+                raise CheckpointError(
+                    f"{checkpoint}: no valid checkpoint archive found"
+                )
+            __, payload = recovered
+        else:
+            from repro.runtime.checkpointing import read_archive
+
+            payload = read_archive(checkpoint)
+        state = {
+            name[len("model/") :]: values
+            for name, values in payload.items()
+            if name.startswith("model/")
+        }
+        if not state:
+            # A bare state_dict archive (no section prefixes).
+            state = {
+                name: values
+                for name, values in payload.items()
+                if "/" not in name
+            }
+        if not state:
+            raise CheckpointError(
+                f"{checkpoint}: archive holds no model parameters"
+            )
+        try:
+            model.load_state_dict(state)
+        except (KeyError, ValueError, IndexError) as error:
+            raise CheckpointError(
+                f"{checkpoint}: checkpoint does not fit this model "
+                f"(was it trained with a different configuration?): {error}"
+            ) from error
+        return cls(model, dataset, **engine_kwargs)
+
+    # ------------------------------------------------------------------
+    # One-shot and batched serving
+    # ------------------------------------------------------------------
+    def recommend(
+        self,
+        user: int | None = None,
+        sequence=None,
+        k: int = 10,
+        exclude_seen: bool = True,
+    ) -> Recommendation:
+        """Serve a single request (convenience over :meth:`recommend_batch`)."""
+        request = RecRequest(
+            user=user,
+            sequence=tuple(sequence) if sequence is not None else None,
+            k=k,
+            exclude_seen=exclude_seen,
+        )
+        return self.recommend_batch([request])[0]
+
+    def recommend_batch(self, requests: list[RecRequest]) -> list[Recommendation]:
+        """Serve many requests at once: dedupe, encode, score, select."""
+        if not requests:
+            return []
+        with self.metrics.time_stage("total"):
+            with self.metrics.time_stage("resolve"):
+                sequences, exclusions = self._resolve(requests)
+            keys = [sequence_key(seq) for seq in sequences]
+            rows, cached_flags = self._compute_rows(keys, sequences)
+            with self.metrics.time_stage("topk"):
+                results = self._select_batch(requests, rows, exclusions, cached_flags)
+        self.metrics.increment("requests", len(requests))
+        self.metrics.increment("batches")
+        return results
+
+    # ------------------------------------------------------------------
+    # Request coalescing (bounded queue)
+    # ------------------------------------------------------------------
+    def submit(self, request: RecRequest) -> None:
+        """Queue one request; auto-flushes a micro-batch when full.
+
+        Results accumulate in submission order until :meth:`flush`.
+        Raises :class:`EngineOverloaded` when ``max_queue`` requests are
+        pending collection.
+        """
+        if len(self._queue) + len(self._completed) >= self.max_queue:
+            raise EngineOverloaded(
+                f"queue full ({self.max_queue} pending); call flush()"
+            )
+        self._queue.append(request)
+        if len(self._queue) >= self.max_batch_size:
+            self._process_queue()
+
+    def flush(self) -> list[Recommendation]:
+        """Process queued requests and return all pending results in order."""
+        self._process_queue()
+        completed, self._completed = self._completed, []
+        return completed
+
+    @property
+    def pending(self) -> int:
+        """Requests submitted but not yet collected via :meth:`flush`."""
+        return len(self._queue) + len(self._completed)
+
+    def _process_queue(self) -> None:
+        if self._queue:
+            queued, self._queue = self._queue, []
+            self._completed.extend(self.recommend_batch(queued))
+
+    # ------------------------------------------------------------------
+    # Cache management
+    # ------------------------------------------------------------------
+    def warm(self, users: np.ndarray) -> int:
+        """Pre-populate the representation cache for ``users``.
+
+        Returns the number of sequences actually encoded (cache misses).
+        """
+        users = np.asarray(users)
+        sequences = [
+            np.asarray(self.dataset.full_sequence(int(u), split=self.split))
+            for u in users
+        ]
+        keys = [sequence_key(seq) for seq in sequences]
+        before = self.metrics.counters.get("sequences_encoded", 0)
+        self._compute_rows(keys, sequences)
+        return self.metrics.counters.get("sequences_encoded", 0) - before
+
+    def invalidate_cache(self) -> None:
+        """Drop every cached representation (after a weight update)."""
+        self.cache.clear()
+
+    # ------------------------------------------------------------------
+    # Pipeline stages
+    # ------------------------------------------------------------------
+    def _resolve(
+        self, requests: list[RecRequest]
+    ) -> tuple[list[np.ndarray], list[np.ndarray | None]]:
+        """Request → (history sequence, excluded item ids or None)."""
+        sequences: list[np.ndarray] = []
+        exclusions: list[np.ndarray | None] = []
+        for request in requests:
+            if request.user is not None:
+                user = int(request.user)
+                if not 0 <= user < self.dataset.num_users:
+                    raise RequestError(
+                        f"user {user} out of range [0, {self.dataset.num_users})"
+                    )
+                sequence = np.asarray(
+                    self.dataset.full_sequence(user, split=self.split)
+                )
+                excluded = (
+                    self.dataset.seen_items(user) if request.exclude_seen else None
+                )
+            else:
+                sequence = np.asarray(request.sequence, dtype=np.int64)
+                if sequence.min() < 0 or sequence.max() > self.dataset.num_items:
+                    raise RequestError(
+                        f"sequence item ids must be in [0, "
+                        f"{self.dataset.num_items}]"
+                    )
+                excluded = np.unique(sequence) if request.exclude_seen else None
+            sequences.append(sequence)
+            exclusions.append(excluded)
+        return sequences, exclusions
+
+    def _compute_rows(
+        self, keys: list[bytes], sequences: list[np.ndarray]
+    ) -> tuple[list[np.ndarray], list[bool]]:
+        """Per-request cached arrays (representations or score rows).
+
+        Deduplicates within the batch, encodes only cache misses in
+        micro-batches, and records hit/miss counters per request.
+        """
+        cached_flags = [False] * len(keys)
+        misses: dict[bytes, np.ndarray] = {}
+        for i, key in enumerate(keys):
+            if key in self.cache:
+                cached_flags[i] = True
+            elif key in misses:
+                cached_flags[i] = True  # coalesced with an earlier request
+                self.metrics.increment("coalesced_requests")
+            else:
+                misses[key] = sequences[i]
+            self.metrics.record_cache(cached_flags[i])
+
+        if misses:
+            miss_keys = list(misses)
+            miss_sequences = list(misses.values())
+            with self.metrics.time_stage("encode"):
+                for start in range(0, len(miss_sequences), self.max_batch_size):
+                    chunk = miss_sequences[start : start + self.max_batch_size]
+                    encoded = self._encode(chunk)
+                    for offset, row in enumerate(encoded):
+                        self.cache.put(miss_keys[start + offset], row)
+            self.metrics.increment("sequences_encoded", len(miss_sequences))
+
+        rows: list[np.ndarray] = []
+        if self._item_matrix is not None:
+            representations = np.stack([self.cache.get(key) for key in keys])
+            with self.metrics.time_stage("score"):
+                scored = representations @ self._item_matrix.T
+            self.metrics.increment("items_scored", scored.size)
+            rows = list(scored)
+        else:
+            rows = [self.cache.get(key) for key in keys]
+            self.metrics.increment(
+                "items_scored", sum(len(row) for row in rows)
+            )
+        return rows, cached_flags
+
+    def _encode(self, sequences: list[np.ndarray]) -> np.ndarray:
+        """One micro-batch through the model."""
+        if self._item_matrix is not None:
+            return np.asarray(self.model.encode_sequences(sequences))
+        return np.asarray(
+            self.model.score_sequences(sequences, self.dataset.num_items)
+        )
+
+    def _select_batch(
+        self,
+        requests: list[RecRequest],
+        rows: list[np.ndarray],
+        exclusions: list[np.ndarray | None],
+        cached_flags: list[bool],
+    ) -> list[Recommendation]:
+        """Mask ineligible items and partial-sort top-k, batched."""
+        scores = np.array(rows, dtype=np.float64)
+        scores[:, 0] = _NEG_INF  # padding id is never a candidate
+        row_idx = np.concatenate(
+            [np.full(len(e), i) for i, e in enumerate(exclusions) if e is not None]
+            or [np.empty(0, dtype=np.int64)]
+        )
+        col_idx = np.concatenate(
+            [e for e in exclusions if e is not None]
+            or [np.empty(0, dtype=np.int64)]
+        )
+        scores[row_idx.astype(np.int64), col_idx.astype(np.int64)] = _NEG_INF
+        max_k = min(max(r.k for r in requests), scores.shape[1])
+        top = top_k_indices(scores, max_k)
+        results = []
+        for i, request in enumerate(requests):
+            row_top = top[i][np.isfinite(scores[i, top[i]])][: request.k]
+            results.append(
+                Recommendation(
+                    items=row_top,
+                    scores=scores[i, row_top],
+                    request=request,
+                    cached=cached_flags[i],
+                )
+            )
+        return results

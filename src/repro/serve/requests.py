@@ -1,0 +1,112 @@
+"""Request / response types for the serving engine, plus JSONL I/O.
+
+A request addresses a user either by **dataset user id** (the engine
+looks up the interaction history and can exclude seen items) or by a
+**raw item-id sequence** (a live session the dataset has never seen).
+The JSONL wire format mirrors the dataclass fields::
+
+    {"user": 42, "k": 10}
+    {"sequence": [3, 17, 5], "k": 5}
+    {"user": 7, "k": 20, "exclude_seen": false}
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class RequestError(ValueError):
+    """A malformed recommendation request (bad JSON, missing fields...)."""
+
+
+@dataclass(frozen=True)
+class RecRequest:
+    """One top-k recommendation request.
+
+    Exactly one of ``user`` / ``sequence`` must be provided.  With
+    ``exclude_seen`` (default) the history is removed from the
+    candidates: the dataset's seen-item set for user requests, the
+    sequence's own items for raw-sequence requests.
+    """
+
+    user: int | None = None
+    sequence: tuple[int, ...] | None = None
+    k: int = 10
+    exclude_seen: bool = True
+
+    def __post_init__(self) -> None:
+        if (self.user is None) == (self.sequence is None):
+            raise RequestError(
+                "exactly one of 'user' or 'sequence' must be provided"
+            )
+        if self.k < 1:
+            raise RequestError(f"k must be positive, got {self.k}")
+        if self.sequence is not None:
+            object.__setattr__(self, "sequence", tuple(int(i) for i in self.sequence))
+            if len(self.sequence) == 0:
+                raise RequestError("sequence must not be empty")
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RecRequest":
+        """Build a request from a decoded JSON object."""
+        if not isinstance(payload, dict):
+            raise RequestError(f"request must be a JSON object, got {payload!r}")
+        unknown = set(payload) - {"user", "sequence", "k", "exclude_seen"}
+        if unknown:
+            raise RequestError(f"unknown request fields: {sorted(unknown)}")
+        return cls(
+            user=payload.get("user"),
+            sequence=(
+                tuple(payload["sequence"]) if "sequence" in payload else None
+            ),
+            k=int(payload.get("k", 10)),
+            exclude_seen=bool(payload.get("exclude_seen", True)),
+        )
+
+
+@dataclass
+class Recommendation:
+    """Top-k response for one request."""
+
+    items: np.ndarray
+    scores: np.ndarray
+    request: RecRequest = field(repr=False)
+    cached: bool = False  # user representation served from cache
+
+    def to_dict(self) -> dict:
+        """JSON-friendly payload (deterministic for identical requests)."""
+        payload: dict = {}
+        if self.request.user is not None:
+            payload["user"] = int(self.request.user)
+        else:
+            payload["sequence"] = list(self.request.sequence)
+        payload["items"] = [int(i) for i in self.items]
+        payload["scores"] = [round(float(s), 6) for s in self.scores]
+        return payload
+
+
+def read_requests_file(path: str | os.PathLike) -> list[RecRequest]:
+    """Parse a JSONL request file; blank lines and ``#`` comments skipped."""
+    requests: list[RecRequest] = []
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise RequestError(
+                    f"{os.fspath(path)}:{lineno}: invalid JSON: {error}"
+                ) from error
+            try:
+                requests.append(RecRequest.from_dict(payload))
+            except RequestError as error:
+                raise RequestError(
+                    f"{os.fspath(path)}:{lineno}: {error}"
+                ) from error
+    return requests

@@ -1,0 +1,131 @@
+"""A small stdlib HTTP front-end for :class:`RecommendationEngine`.
+
+No web framework — ``http.server`` is enough for a reference serving
+implementation and keeps the repo dependency-free.  Endpoints:
+
+* ``POST /recommend`` — body is one request object
+  (``{"user": 42, "k": 10}`` or ``{"sequence": [3, 1, 7]}``).
+* ``POST /recommend/batch`` — body is ``{"requests": [...]}``; the
+  whole batch is scored in one engine call (one micro-batched encode).
+* ``GET /metrics`` — the :class:`~repro.serve.metrics.ServingMetrics`
+  snapshot as JSON.
+* ``GET /health`` — liveness probe with model/catalogue info.
+
+Requests are handled on threads (``ThreadingHTTPServer``) but scoring
+is serialized through one lock: the numpy engine is CPU-bound anyway,
+and the engine's caches are not thread-safe.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.serve.engine import RecommendationEngine
+from repro.serve.requests import RecRequest, RequestError
+
+#: Refuse request bodies beyond this size (1 MiB) to bound memory.
+MAX_BODY_BYTES = 1 << 20
+
+
+class RecommendationServer:
+    """Serve an engine over HTTP (see module docstring for endpoints)."""
+
+    def __init__(self, engine: RecommendationEngine, host: str = "127.0.0.1",
+                 port: int = 8080) -> None:
+        self.engine = engine
+        self._lock = threading.Lock()
+        handler = _make_handler(self)
+        self.httpd = ThreadingHTTPServer((host, port), handler)
+        self.httpd.daemon_threads = True
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (useful with ``port=0``)."""
+        return self.httpd.server_address[:2]
+
+    def handle_single(self, payload: dict) -> dict:
+        """Score one request object (the ``/recommend`` body)."""
+        request = RecRequest.from_dict(payload)
+        with self._lock:
+            return self.engine.recommend_batch([request])[0].to_dict()
+
+    def handle_batch(self, payload: dict) -> dict:
+        """Score a ``{"requests": [...]}`` batch in one engine call."""
+        if not isinstance(payload, dict) or "requests" not in payload:
+            raise RequestError('batch body must be {"requests": [...]}')
+        items = payload["requests"]
+        if not isinstance(items, list):
+            raise RequestError('"requests" must be a list')
+        requests = [RecRequest.from_dict(item) for item in items]
+        with self._lock:
+            results = self.engine.recommend_batch(requests)
+        return {"results": [r.to_dict() for r in results]}
+
+    def health(self) -> dict:
+        """Liveness payload for ``/health``."""
+        return {
+            "status": "ok",
+            "model": type(self.engine.model).__name__,
+            "num_items": self.engine.dataset.num_items,
+            "num_users": self.engine.dataset.num_users,
+        }
+
+    def serve_forever(self) -> None:
+        """Block serving requests until :meth:`shutdown`."""
+        self.httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        """Stop the listener and release the socket."""
+        self.httpd.shutdown()
+        self.httpd.server_close()
+
+
+def _make_handler(server: RecommendationServer) -> type[BaseHTTPRequestHandler]:
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def log_message(self, format: str, *args) -> None:  # noqa: A002
+            pass  # keep stdout clean; metrics cover observability
+
+        def _reply(self, status: int, payload: dict) -> None:
+            body = json.dumps(payload).encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _read_json(self) -> dict:
+            length = int(self.headers.get("Content-Length", 0))
+            if length > MAX_BODY_BYTES:
+                raise RequestError(f"request body over {MAX_BODY_BYTES} bytes")
+            try:
+                return json.loads(self.rfile.read(length) or b"{}")
+            except json.JSONDecodeError as error:
+                raise RequestError(f"invalid JSON body: {error}") from error
+
+        def do_GET(self) -> None:  # noqa: N802 - http.server API
+            if self.path == "/metrics":
+                self._reply(200, server.engine.metrics.snapshot())
+            elif self.path == "/health":
+                self._reply(200, server.health())
+            else:
+                self._reply(404, {"error": f"unknown path {self.path}"})
+
+        def do_POST(self) -> None:  # noqa: N802 - http.server API
+            try:
+                payload = self._read_json()
+                if self.path == "/recommend":
+                    self._reply(200, server.handle_single(payload))
+                elif self.path == "/recommend/batch":
+                    self._reply(200, server.handle_batch(payload))
+                else:
+                    self._reply(404, {"error": f"unknown path {self.path}"})
+            except RequestError as error:
+                self._reply(400, {"error": str(error)})
+            except Exception as error:  # noqa: BLE001 - don't kill the server
+                self._reply(500, {"error": f"{type(error).__name__}: {error}"})
+
+    return Handler

@@ -3,7 +3,33 @@
 import numpy as np
 import pytest
 
+from repro.models.base import Recommender
 from repro.models.pop import Pop
+
+
+class _SeenOnlyScorer(Recommender):
+    """Scores only the user's seen items; everything else is -inf."""
+
+    def fit(self, dataset, **kwargs):
+        return self
+
+    def score_items(self, dataset, users, items=None, split="test"):
+        scores = np.full((len(users), dataset.num_items + 1), -np.inf)
+        for row, user in enumerate(users):
+            scores[row, dataset.seen_items(int(user))] = 1.0
+        return scores
+
+
+class _PadLovingScorer(Recommender):
+    """Gives the padding id the best score of all."""
+
+    def fit(self, dataset, **kwargs):
+        return self
+
+    def score_items(self, dataset, users, items=None, split="test"):
+        scores = np.zeros((len(users), dataset.num_items + 1))
+        scores[:, 0] = 1e9
+        return scores
 
 
 class TestRecommend:
@@ -47,6 +73,33 @@ class TestRecommend:
         scores = pop.score_users(tiny_dataset, np.array([0]))[0]
         values = scores[items]
         assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_exclude_seen_can_empty_the_list(self, tiny_dataset):
+        # When every scoreable item is in the user's history, excluding
+        # seen items leaves nothing — recommend returns a short (here
+        # empty) list rather than padding with masked items.
+        model = _SeenOnlyScorer().fit(tiny_dataset)
+        items = model.recommend(tiny_dataset, user=0, k=10)
+        assert len(items) == 0
+        with_seen = model.recommend(tiny_dataset, user=0, k=10, exclude_seen=False)
+        seen = set(tiny_dataset.seen_items(0).tolist())
+        assert set(with_seen.tolist()) <= seen
+        assert len(with_seen) == min(10, len(seen))
+
+    def test_k_larger_than_catalogue_returns_unique_items(self, tiny_dataset):
+        pop = Pop().fit(tiny_dataset)
+        items = pop.recommend(
+            tiny_dataset, user=0, k=tiny_dataset.num_items * 3, exclude_seen=False
+        )
+        assert len(items) == tiny_dataset.num_items  # all real items, once
+        assert len(set(items.tolist())) == len(items)
+        assert 0 not in items
+
+    def test_padding_excluded_even_with_top_score(self, tiny_dataset):
+        model = _PadLovingScorer().fit(tiny_dataset)
+        items = model.recommend(tiny_dataset, user=0, k=5, exclude_seen=False)
+        assert 0 not in items
+        assert len(items) == 5
 
     def test_works_for_sequential_model(self, tiny_dataset):
         from repro.models.sasrec import SASRec, SASRecConfig

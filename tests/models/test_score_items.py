@@ -1,0 +1,90 @@
+"""The candidate-set scoring contract (Recommender.score_items)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentScale
+from repro.models.base import Recommender
+from repro.models.registry import build_model
+
+#: Methods cheap enough to fit inside the unit suite.
+FAST_MODELS = ("Pop", "BPR-MF", "GRU4Rec", "SASRec")
+
+
+@pytest.fixture(scope="module")
+def fitted(tiny_dataset):
+    scale = ExperimentScale(epochs=1, dim=16, batch_size=32, max_length=12)
+    models = {}
+    for name in FAST_MODELS:
+        model = build_model(name, tiny_dataset, scale)
+        model.fit(tiny_dataset)  # sequential models return a history, not self
+        models[name] = model
+    return models
+
+
+@pytest.mark.parametrize("name", FAST_MODELS)
+class TestCandidateScoring:
+    def test_candidate_columns_match_full_matrix(self, name, fitted, tiny_dataset):
+        model = fitted[name]
+        users = np.arange(6)
+        items = np.array([3, 1, 17, 42])
+        full = model.score_items(tiny_dataset, users, items=None)
+        sub = model.score_items(tiny_dataset, users, items=items)
+        assert sub.shape == (len(users), len(items))
+        np.testing.assert_allclose(sub, full[:, items], rtol=1e-10)
+
+    def test_items_none_matches_score_users(self, name, fitted, tiny_dataset):
+        model = fitted[name]
+        users = np.arange(4)
+        np.testing.assert_allclose(
+            model.score_items(tiny_dataset, users, items=None),
+            model.score_users(tiny_dataset, users),
+            rtol=1e-10,
+        )
+
+    def test_full_matrix_shape(self, name, fitted, tiny_dataset):
+        model = fitted[name]
+        scores = model.score_items(tiny_dataset, np.arange(3))
+        assert scores.shape == (3, tiny_dataset.num_items + 1)
+
+
+class TestBaseClassDefaults:
+    def test_score_users_only_subclass_still_works(self, tiny_dataset):
+        class Legacy(Recommender):
+            def fit(self, dataset, **kwargs):
+                return self
+
+            def score_users(self, dataset, users, split="test"):
+                return np.tile(
+                    np.arange(dataset.num_items + 1, dtype=np.float64),
+                    (len(users), 1),
+                )
+
+        model = Legacy()
+        items = np.array([5, 2])
+        sub = model.score_items(tiny_dataset, np.arange(2), items=items)
+        assert np.array_equal(sub, np.array([[5.0, 2.0], [5.0, 2.0]]))
+        full = model.score_items(tiny_dataset, np.arange(2))
+        assert full.shape == (2, tiny_dataset.num_items + 1)
+
+    def test_neither_method_raises(self, tiny_dataset):
+        class Broken(Recommender):
+            def fit(self, dataset, **kwargs):
+                return self
+
+        with pytest.raises(NotImplementedError):
+            Broken().score_items(tiny_dataset, np.arange(2))
+
+    def test_evaluator_accepts_score_users_only_models(self, tiny_dataset):
+        from repro.eval.evaluator import candidate_scores
+
+        class Legacy:
+            def score_users(self, dataset, users, split="test"):
+                return np.ones((len(users), dataset.num_items + 1))
+
+        scores = candidate_scores(Legacy(), tiny_dataset, np.arange(3))
+        assert scores.shape == (3, tiny_dataset.num_items + 1)
+        sub = candidate_scores(
+            Legacy(), tiny_dataset, np.arange(3), items=np.array([1, 2])
+        )
+        assert sub.shape == (3, 2)

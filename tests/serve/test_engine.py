@@ -1,0 +1,211 @@
+"""The batched recommendation engine."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentScale
+from repro.models.pop import Pop
+from repro.models.registry import build_model
+from repro.nn.serialization import CheckpointError
+from repro.runtime.checkpointing import CheckpointManager, write_archive
+from repro.serve.engine import (
+    EngineOverloaded,
+    LRUCache,
+    RecommendationEngine,
+    sequence_key,
+)
+from repro.serve.requests import RecRequest, RequestError
+
+SCALE = ExperimentScale(epochs=1, dim=16, batch_size=32, max_length=12)
+
+
+@pytest.fixture(scope="module")
+def sasrec(tiny_dataset):
+    model = build_model("SASRec", tiny_dataset, SCALE)
+    model.fit(tiny_dataset)
+    return model
+
+
+@pytest.fixture()
+def engine(sasrec, tiny_dataset):
+    return RecommendationEngine(
+        sasrec, tiny_dataset, max_batch_size=8, cache_size=32
+    )
+
+
+class TestLRUCache:
+    def test_evicts_least_recently_used(self):
+        cache = LRUCache(maxsize=2)
+        cache.put(b"a", np.array([1]))
+        cache.put(b"b", np.array([2]))
+        cache.get(b"a")  # refresh a; b becomes the eviction victim
+        cache.put(b"c", np.array([3]))
+        assert b"a" in cache and b"c" in cache and b"b" not in cache
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValueError):
+            LRUCache(maxsize=0)
+
+
+class TestRecommendation:
+    def test_matches_model_recommend(self, engine, sasrec, tiny_dataset):
+        for user in (0, 5, 11):
+            expected = sasrec.recommend(tiny_dataset, user, k=10)
+            assert np.array_equal(expected, engine.recommend(user=user).items)
+
+    def test_scores_descend(self, engine):
+        result = engine.recommend(user=0, k=10)
+        assert all(a >= b for a, b in zip(result.scores, result.scores[1:]))
+
+    def test_sequence_request_excludes_own_items(self, engine):
+        sequence = [3, 5, 9]
+        result = engine.recommend(sequence=sequence, k=5)
+        assert not set(sequence) & set(result.items.tolist())
+        assert 0 not in result.items
+
+    def test_sequence_request_can_include_own_items(self, engine):
+        result = engine.recommend(sequence=[3], k=5, exclude_seen=False)
+        assert 0 not in result.items  # padding stays excluded regardless
+
+    def test_user_out_of_range(self, engine, tiny_dataset):
+        with pytest.raises(RequestError, match="out of range"):
+            engine.recommend(user=tiny_dataset.num_users)
+
+    def test_sequence_item_out_of_range(self, engine, tiny_dataset):
+        with pytest.raises(RequestError, match="item ids"):
+            engine.recommend(sequence=[tiny_dataset.num_items + 5])
+
+
+class TestCaching:
+    def test_repeat_request_hits_cache(self, engine):
+        first = engine.recommend(user=0)
+        second = engine.recommend(user=0)
+        assert not first.cached and second.cached
+        assert np.array_equal(first.items, second.items)
+        assert engine.metrics.counters["user_cache_hits"] == 1
+
+    def test_within_batch_duplicates_coalesce(self, engine):
+        requests = [RecRequest(user=1), RecRequest(user=1), RecRequest(user=2)]
+        results = engine.recommend_batch(requests)
+        assert np.array_equal(results[0].items, results[1].items)
+        assert engine.metrics.counters["coalesced_requests"] == 1
+        assert engine.metrics.counters["sequences_encoded"] == 2
+
+    def test_lru_eviction_forces_reencode(self, sasrec, tiny_dataset):
+        engine = RecommendationEngine(
+            sasrec, tiny_dataset, max_batch_size=4, cache_size=2
+        )
+        engine.recommend(user=0)
+        engine.recommend(user=1)
+        engine.recommend(user=2)  # evicts user 0
+        assert not engine.recommend(user=0).cached
+
+    def test_warm_then_serve(self, engine, tiny_dataset):
+        encoded = engine.warm(np.arange(5))
+        assert encoded == 5
+        assert engine.recommend(user=3).cached
+
+    def test_invalidate_cache(self, engine):
+        engine.recommend(user=0)
+        engine.invalidate_cache()
+        assert not engine.recommend(user=0).cached
+
+    def test_identical_sequences_share_a_key(self):
+        assert sequence_key(np.array([1, 2])) == sequence_key([1, 2])
+        assert sequence_key([1, 2]) != sequence_key([2, 1])
+
+
+class TestQueue:
+    def test_flush_preserves_submission_order(self, engine, sasrec, tiny_dataset):
+        users = [7, 3, 7, 11, 0]
+        for user in users:
+            engine.submit(RecRequest(user=user, k=5))
+        results = engine.flush()
+        assert [r.request.user for r in results] == users
+        assert engine.pending == 0
+        for user, result in zip(users, results):
+            expected = sasrec.recommend(tiny_dataset, user, k=5)
+            assert np.array_equal(expected, result.items)
+
+    def test_auto_flush_at_batch_size(self, engine):
+        for user in range(engine.max_batch_size):
+            engine.submit(RecRequest(user=user))
+        # The queue processed itself; results await collection.
+        assert engine.pending == engine.max_batch_size
+        assert engine.metrics.counters["batches"] == 1
+
+    def test_overload_raises(self, sasrec, tiny_dataset):
+        engine = RecommendationEngine(
+            sasrec, tiny_dataset, max_batch_size=100, max_queue=3
+        )
+        for user in range(3):
+            engine.submit(RecRequest(user=user))
+        with pytest.raises(EngineOverloaded):
+            engine.submit(RecRequest(user=4))
+        engine.flush()
+        engine.submit(RecRequest(user=4))  # drained queue accepts again
+
+
+class TestBackends:
+    def test_fallback_backend_matches_recommend(self, tiny_dataset):
+        model = build_model("SR-GNN", tiny_dataset, SCALE)
+        model.fit(tiny_dataset)
+        engine = RecommendationEngine(model, tiny_dataset)
+        assert engine._item_matrix is None  # score_sequences fallback
+        expected = model.recommend(tiny_dataset, 0, k=5)
+        assert np.array_equal(expected, engine.recommend(user=0, k=5).items)
+
+    def test_unservable_model_rejected(self, tiny_dataset):
+        pop = Pop()
+        pop.fit(tiny_dataset)
+        with pytest.raises(TypeError, match="cannot be served"):
+            RecommendationEngine(pop, tiny_dataset)
+
+
+class TestFromCheckpoint:
+    def test_loads_manager_directory(self, sasrec, tiny_dataset, tmp_path):
+        manager = CheckpointManager(tmp_path / "ckpts")
+        state = {f"model/{k}": v for k, v in sasrec.state_dict().items()}
+        manager.save(1, state)
+        fresh = build_model("SASRec", tiny_dataset, SCALE)
+        engine = RecommendationEngine.from_checkpoint(
+            tmp_path / "ckpts", fresh, tiny_dataset
+        )
+        expected = sasrec.recommend(tiny_dataset, 0, k=5)
+        assert np.array_equal(expected, engine.recommend(user=0, k=5).items)
+
+    def test_loads_bare_state_dict_archive(self, sasrec, tiny_dataset, tmp_path):
+        path = tmp_path / "weights.npz"
+        write_archive(path, sasrec.state_dict())
+        fresh = build_model("SASRec", tiny_dataset, SCALE)
+        engine = RecommendationEngine.from_checkpoint(path, fresh, tiny_dataset)
+        expected = sasrec.recommend(tiny_dataset, 0, k=5)
+        assert np.array_equal(expected, engine.recommend(user=0, k=5).items)
+
+    def test_empty_directory_raises(self, sasrec, tiny_dataset, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(CheckpointError, match="no valid checkpoint"):
+            RecommendationEngine.from_checkpoint(
+                tmp_path / "empty", sasrec, tiny_dataset
+            )
+
+    def test_mismatched_model_raises(self, sasrec, tiny_dataset, tmp_path):
+        manager = CheckpointManager(tmp_path / "ckpts")
+        state = {f"model/{k}": v for k, v in sasrec.state_dict().items()}
+        manager.save(1, state)
+        wrong = build_model(
+            "SASRec", tiny_dataset, ExperimentScale(epochs=1, dim=32, max_length=12)
+        )
+        with pytest.raises(CheckpointError, match="does not fit"):
+            RecommendationEngine.from_checkpoint(
+                tmp_path / "ckpts", wrong, tiny_dataset
+            )
+
+
+class TestMetricsIntegration:
+    def test_stage_latencies_recorded(self, engine):
+        engine.recommend_batch([RecRequest(user=0), RecRequest(user=1)])
+        snap = engine.metrics.snapshot()
+        for stage in ("resolve", "encode", "score", "topk", "total"):
+            assert snap["latency"][stage]["count"] >= 1
+        assert snap["counters"]["requests"] == 2

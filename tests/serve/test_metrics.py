@@ -1,0 +1,89 @@
+"""Serving metrics: histograms, counters, cache stats, JSON export."""
+
+import json
+
+import numpy as np
+
+from repro.serve.metrics import LatencyHistogram, ServingMetrics
+
+
+class TestLatencyHistogram:
+    def test_count_mean_max(self):
+        hist = LatencyHistogram()
+        for value in (0.1, 0.2, 0.3):
+            hist.record(value)
+        assert hist.count == 3
+        assert np.isclose(hist.mean_seconds, 0.2)
+        assert hist.max_seconds == 0.3
+
+    def test_percentiles(self):
+        hist = LatencyHistogram()
+        for value in np.linspace(0.0, 1.0, 101):
+            hist.record(value)
+        assert np.isclose(hist.percentile(50), 0.5)
+        assert np.isclose(hist.percentile(99), 0.99)
+
+    def test_empty_histogram_is_zero(self):
+        hist = LatencyHistogram()
+        assert hist.mean_seconds == 0.0
+        assert hist.percentile(50) == 0.0
+        assert hist.summary()["count"] == 0
+
+    def test_reservoir_bounds_memory(self):
+        hist = LatencyHistogram(max_samples=100)
+        for value in range(1000):
+            hist.record(float(value))
+        assert hist.count == 1000  # exact even past the cap
+        assert len(hist._samples) == 100
+        # Reservoir keeps a spread, not just the head.
+        assert max(hist._samples) > 100
+
+    def test_summary_keys(self):
+        hist = LatencyHistogram()
+        hist.record(0.01)
+        summary = hist.summary()
+        assert set(summary) == {
+            "count", "mean_ms", "max_ms", "p50_ms", "p90_ms", "p99_ms"
+        }
+        assert np.isclose(summary["mean_ms"], 10.0)
+
+
+class TestServingMetrics:
+    def test_time_stage_records(self):
+        metrics = ServingMetrics()
+        with metrics.time_stage("encode"):
+            pass
+        assert metrics.stage("encode").count == 1
+
+    def test_counters(self):
+        metrics = ServingMetrics()
+        metrics.increment("requests")
+        metrics.increment("requests", 4)
+        assert metrics.counters["requests"] == 5
+
+    def test_cache_hit_rate(self):
+        metrics = ServingMetrics()
+        assert metrics.cache_hit_rate == 0.0  # no lookups yet
+        metrics.record_cache(True)
+        metrics.record_cache(True)
+        metrics.record_cache(False)
+        assert np.isclose(metrics.cache_hit_rate, 2 / 3)
+
+    def test_snapshot_schema(self):
+        metrics = ServingMetrics()
+        with metrics.time_stage("total"):
+            metrics.increment("requests")
+            metrics.record_cache(False)
+        snap = metrics.snapshot()
+        assert set(snap) == {
+            "uptime_seconds", "counters", "cache", "throughput", "latency"
+        }
+        assert snap["cache"] == {"hits": 0, "misses": 1, "hit_rate": 0.0}
+        assert "total" in snap["latency"]
+        assert snap["throughput"]["requests_per_second"] >= 0.0
+
+    def test_to_json_round_trips(self):
+        metrics = ServingMetrics()
+        metrics.increment("requests")
+        decoded = json.loads(metrics.to_json())
+        assert decoded["counters"]["requests"] == 1

@@ -1,0 +1,108 @@
+"""The HTTP front-end (stdlib ThreadingHTTPServer)."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.experiments.config import ExperimentScale
+from repro.models.registry import build_model
+from repro.serve import RecommendationEngine, RecommendationServer
+
+SCALE = ExperimentScale(epochs=1, dim=16, batch_size=32, max_length=12)
+
+
+@pytest.fixture(scope="module")
+def server(tiny_dataset):
+    model = build_model("SASRec", tiny_dataset, SCALE)
+    model.fit(tiny_dataset)
+    engine = RecommendationEngine(model, tiny_dataset, max_batch_size=8)
+    srv = RecommendationServer(engine, port=0)  # ephemeral port
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+    thread.join(timeout=5)
+
+
+def _post(server, path, payload):
+    host, port = server.address
+    request = urllib.request.Request(
+        f"http://{host}:{port}{path}",
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
+def _get(server, path):
+    host, port = server.address
+    url = f"http://{host}:{port}{path}"
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
+class TestEndpoints:
+    def test_recommend(self, server):
+        status, body = _post(server, "/recommend", {"user": 0, "k": 5})
+        assert status == 200
+        assert len(body["items"]) == 5
+        assert body["user"] == 0
+
+    def test_recommend_is_deterministic(self, server):
+        first = _post(server, "/recommend", {"user": 3, "k": 5})[1]
+        second = _post(server, "/recommend", {"user": 3, "k": 5})[1]
+        assert first == second
+
+    def test_recommend_batch(self, server):
+        status, body = _post(
+            server,
+            "/recommend/batch",
+            {"requests": [{"user": 1}, {"sequence": [2, 4]}]},
+        )
+        assert status == 200
+        assert len(body["results"]) == 2
+        assert body["results"][1]["sequence"] == [2, 4]
+
+    def test_metrics(self, server):
+        _post(server, "/recommend", {"user": 2})
+        status, body = _get(server, "/metrics")
+        assert status == 200
+        assert body["counters"]["requests"] >= 1
+        assert "total" in body["latency"]
+
+    def test_health(self, server, tiny_dataset):
+        status, body = _get(server, "/health")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["num_items"] == tiny_dataset.num_items
+
+
+class TestErrorHandling:
+    def test_malformed_request_is_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(server, "/recommend", {"user": 1, "sequence": [2]})
+        assert excinfo.value.code == 400
+        assert "error" in json.loads(excinfo.value.read())
+
+    def test_bad_batch_shape_is_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(server, "/recommend/batch", {"requests": "nope"})
+        assert excinfo.value.code == 400
+
+    def test_invalid_json_is_400(self, server):
+        host, port = server.address
+        request = urllib.request.Request(
+            f"http://{host}:{port}/recommend", data=b"{not json"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_unknown_path_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server, "/nope")
+        assert excinfo.value.code == 404

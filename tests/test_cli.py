@@ -52,6 +52,48 @@ class TestParser:
         assert args.dim == 24
         assert args.seed == 3
 
+    def test_serve_arguments(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--checkpoint",
+                "ckpts/joint",
+                "--requests-file",
+                "reqs.jsonl",
+                "--max-batch-size",
+                "64",
+                "--cache-size",
+                "128",
+            ]
+        )
+        assert args.checkpoint == "ckpts/joint"
+        assert args.requests_file == "reqs.jsonl"
+        assert args.max_batch_size == 64
+        assert args.cache_size == 128
+        assert args.model == "CL4SRec"
+
+    def test_serve_requires_checkpoint(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--port", "8080"])
+
+    def test_recommend_requires_user_or_sequence(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["recommend", "--checkpoint", "c"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["recommend", "--checkpoint", "c", "--user", "1",
+                 "--sequence", "2", "3"]
+            )
+
+    def test_recommend_sequence_parsed(self):
+        args = build_parser().parse_args(
+            ["recommend", "--checkpoint", "c", "--sequence", "3", "5", "9",
+             "--k", "7", "--include-seen"]
+        )
+        assert args.sequence == [3, 5, 9]
+        assert args.k == 7
+        assert args.exclude_seen is False
+
 
 class TestMain:
     def test_table1_runs(self, capsys, tmp_path):
@@ -91,6 +133,65 @@ class TestMain:
         assert code == 0
         assert out.exists()
         assert "Table 1" in out.read_text()
+
+    def test_serve_rejects_both_modes(self, capsys):
+        code = main(["serve", "--checkpoint", "c", "--requests-file", "r",
+                     "--port", "8080"])
+        assert code == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_train_then_serve_and_recommend(self, capsys, tmp_path):
+        """End-to-end: train -> checkpoint -> batch serve -> one-shot."""
+        import json
+
+        scale_args = [
+            "--dataset", "beauty", "--dataset-scale", "0.01",
+            "--dim", "16", "--max-length", "12",
+        ]
+        code = main(
+            ["train", *scale_args, "--mode", "joint", "--epochs", "1",
+             "--checkpoint-dir", str(tmp_path / "ckpts")]
+        )
+        assert code == 0
+        capsys.readouterr()
+
+        requests = tmp_path / "reqs.jsonl"
+        requests.write_text('{"user": 0, "k": 5}\n{"user": 1, "k": 5}\n')
+        out = tmp_path / "results.jsonl"
+        metrics_out = tmp_path / "metrics.json"
+        serve_args = [
+            "serve", "--checkpoint", str(tmp_path / "ckpts" / "joint"),
+            *scale_args, "--requests-file", str(requests),
+            "--output", str(out), "--metrics-output", str(metrics_out),
+        ]
+        assert main(serve_args) == 0
+        capsys.readouterr()
+        lines = out.read_text().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["user"] == 0 and len(first["items"]) == 5
+        assert 0 not in first["items"]
+
+        metrics = json.loads(metrics_out.read_text())
+        assert metrics["counters"]["requests"] == 2
+        assert "p50_ms" in metrics["latency"]["total"]
+        assert {"hits", "misses", "hit_rate"} <= set(metrics["cache"])
+
+        # Serving is deterministic: a second pass produces identical output.
+        out2 = tmp_path / "results2.jsonl"
+        serve_args[serve_args.index(str(out))] = str(out2)
+        assert main(serve_args) == 0
+        capsys.readouterr()
+        assert out.read_text() == out2.read_text()
+
+        # One-shot recommend agrees with the batch path.
+        code = main(
+            ["recommend", "--checkpoint", str(tmp_path / "ckpts" / "joint"),
+             *scale_args, "--user", "0", "--k", "5"]
+        )
+        assert code == 0
+        one_shot = json.loads(capsys.readouterr().out.strip())
+        assert one_shot == first
 
     def test_figure4_micro_runs(self, capsys):
         code = main(
