@@ -88,6 +88,15 @@ from repro.models import (
     build_model,
     register_model,
 )
+from repro.obs import (
+    EventSink,
+    Histogram,
+    MetricsRegistry,
+    Profiler,
+    RunObserver,
+    read_events,
+    summarize_run,
+)
 from repro.serve import (
     Recommendation,
     RecommendationEngine,
@@ -114,20 +123,24 @@ __all__ = [
     "DivergenceGuard",
     "EvaluationResult",
     "Evaluator",
+    "EventSink",
     "FPMC",
     "FaultInjector",
     "GRU4Rec",
+    "Histogram",
     "Identity",
     "Insert",
     "InteractionLog",
     "ItemCorrelation",
     "JointTrainConfig",
     "Mask",
+    "MetricsRegistry",
     "MoCoCL4SRec",
     "MoCoConfig",
     "NCF",
     "PairSampler",
     "Pop",
+    "Profiler",
     "ProjectionHead",
     "RecRequest",
     "Recommendation",
@@ -135,6 +148,7 @@ __all__ = [
     "RecommendationServer",
     "Recommender",
     "Reorder",
+    "RunObserver",
     "SASRec",
     "SASRecBPR",
     "SASRecConfig",
@@ -159,9 +173,11 @@ __all__ = [
     "pretrain_contrastive",
     "ranking_metrics",
     "read_csv_log",
+    "read_events",
     "read_jsonl_log",
     "recommendation_diagnostics",
     "register_model",
+    "summarize_run",
     "temporal_split",
     "top_k_indices",
     "train_joint",

@@ -9,6 +9,8 @@ Examples::
     python -m repro ablation --which temperature
     python -m repro train --dataset beauty --checkpoint-dir ckpts
     python -m repro train --dataset beauty --checkpoint-dir ckpts --resume
+    python -m repro train --dataset beauty --obs-dir runs/beauty
+    python -m repro stats runs/beauty
     python -m repro serve --checkpoint ckpts/joint --requests-file reqs.jsonl
     python -m repro serve --checkpoint ckpts/joint --port 8080
     python -m repro recommend --checkpoint ckpts/joint --user 42 --k 10
@@ -293,7 +295,29 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="inject a simulated preemption after N steps (fault testing)",
     )
+    p_tr.add_argument(
+        "--obs-dir",
+        dest="obs_dir",
+        default=None,
+        help="write a structured obs.jsonl event stream (training, eval, "
+        "checkpoint events) into this directory; summarize it later with "
+        "'repro stats'",
+    )
+    p_tr.add_argument(
+        "--profile",
+        action="store_true",
+        help="enable scoped nn profiling timers (matmul/attention/encoder); "
+        "off by default — also enabled by REPRO_PROFILE=1",
+    )
     _add_scale_arguments(p_tr)
+
+    p_st = sub.add_parser(
+        "stats", help="summarize a run's obs.jsonl into terminal tables"
+    )
+    p_st.add_argument(
+        "run_dir",
+        help="run directory containing obs.jsonl (or a direct path to one)",
+    )
 
     p_sv = sub.add_parser(
         "serve", help="serve top-k recommendations from a checkpoint"
@@ -371,6 +395,26 @@ def _run_train(args: argparse.Namespace) -> int:
     if args.preempt_at is not None:
         faults = FaultInjector().preempt(at=args.preempt_at)
 
+    obs = None
+    if args.obs_dir:
+        from repro.obs import RunObserver
+
+        obs = RunObserver.to_directory(
+            args.obs_dir,
+            meta={
+                "command": "train",
+                "dataset": args.dataset,
+                "mode": args.mode,
+                "preset": args.preset,
+                "seed": scale.seed,
+            },
+        )
+    profiler = None
+    if args.profile:
+        from repro.obs import profiling
+
+        profiler = profiling.enable()
+
     def runtime_for(stage: str) -> TrainingRuntime:
         manager = CheckpointManager(
             os.path.join(args.checkpoint_dir, stage), keep=args.keep
@@ -381,40 +425,75 @@ def _run_train(args: argparse.Namespace) -> int:
             resume=args.resume,
             guard=args.guard,
             faults=faults,
+            obs=obs,
         )
 
     started = time.time()
     try:
-        if args.mode == "joint":
-            runtime = runtime_for("joint")
-            losses = train_joint(
-                model, dataset, model.cl_config.joint, rng=model._rng, runtime=runtime
+        try:
+            if args.mode == "joint":
+                runtime = runtime_for("joint")
+                losses = train_joint(
+                    model,
+                    dataset,
+                    model.cl_config.joint,
+                    rng=model._rng,
+                    runtime=runtime,
+                    obs=obs,
+                )
+                final_loss = losses[-1] if losses else float("nan")
+                stages = {"joint": runtime}
+            else:
+                pre_runtime = runtime_for("pretrain")
+                model.pretrain_history = pretrain_contrastive(
+                    model,
+                    dataset,
+                    model.cl_config.pretrain,
+                    rng=model._rng,
+                    runtime=pre_runtime,
+                    obs=obs,
+                )
+                fine_runtime = runtime_for("finetune")
+                history = train_next_item_model(
+                    model,
+                    dataset,
+                    model.cl_config.sasrec.train,
+                    rng=model._rng,
+                    runtime=fine_runtime,
+                    obs=obs,
+                )
+                final_loss = history.losses[-1] if history.losses else float("nan")
+                stages = {"pretrain": pre_runtime, "finetune": fine_runtime}
+        except TrainingInterrupted as interrupted:
+            print(f"interrupted: {interrupted}")
+            print(
+                f"re-run with --resume --checkpoint-dir {args.checkpoint_dir} "
+                "to continue"
             )
-            final_loss = losses[-1] if losses else float("nan")
-            stages = {"joint": runtime}
-        else:
-            pre_runtime = runtime_for("pretrain")
-            model.pretrain_history = pretrain_contrastive(
-                model,
-                dataset,
-                model.cl_config.pretrain,
-                rng=model._rng,
-                runtime=pre_runtime,
+            return EXIT_INTERRUPTED
+
+        if obs is not None:
+            from repro.eval.evaluator import Evaluator
+
+            evaluator = Evaluator(dataset, split="test")
+            result = evaluator.evaluate(model, obs=obs)
+            print(
+                "test eval: "
+                + ", ".join(
+                    f"{name}={value:.4f}"
+                    for name, value in sorted(result.metrics.items())
+                )
             )
-            fine_runtime = runtime_for("finetune")
-            history = train_next_item_model(
-                model,
-                dataset,
-                model.cl_config.sasrec.train,
-                rng=model._rng,
-                runtime=fine_runtime,
-            )
-            final_loss = history.losses[-1] if history.losses else float("nan")
-            stages = {"pretrain": pre_runtime, "finetune": fine_runtime}
-    except TrainingInterrupted as interrupted:
-        print(f"interrupted: {interrupted}")
-        print(f"re-run with --resume --checkpoint-dir {args.checkpoint_dir} to continue")
-        return EXIT_INTERRUPTED
+    finally:
+        if profiler is not None:
+            from repro.obs import profiling
+
+            if obs is not None:
+                obs.event("profile_summary", scopes=profiler.summary())
+            profiling.disable()
+        if obs is not None:
+            obs.close()
+            print(f"observability events written to {obs.sink.path}")
 
     duration = time.time() - started
     for stage, runtime in stages.items():
@@ -455,12 +534,26 @@ def _run_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_stats(args: argparse.Namespace) -> int:
+    """The ``stats`` subcommand: summarize a run's obs.jsonl."""
+    from repro.obs import summarize_run
+
+    try:
+        print(summarize_run(args.run_dir))
+    except FileNotFoundError as error:
+        print(f"stats: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     started = time.time()
 
     if args.command == "train":
         return _run_train(args)
+    if args.command == "stats":
+        return _run_stats(args)
     if args.command == "serve":
         return _run_serve(args)
     if args.command == "recommend":

@@ -18,6 +18,7 @@ flush-and-exit, and divergence rollback — see ``docs/ROBUSTNESS.md``.
 
 from __future__ import annotations
 
+import time
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 
@@ -65,6 +66,45 @@ class PretrainHistory:
     accuracies: list[float] = field(default_factory=list)
 
 
+def _emit_epoch(
+    obs,
+    event: str,
+    stage: str,
+    epoch: int,
+    loss: float,
+    batches: int,
+    sequences: int,
+    grad_norm_sum: float,
+    seconds: float,
+    lr: float,
+    **extra,
+) -> None:
+    """Record one epoch into a :class:`repro.obs.RunObserver`.
+
+    Emits the per-epoch event (loss components, mean grad norm,
+    sequences/sec throughput, wall time, current lr) and feeds the
+    aggregate registry instruments (`train.epoch_seconds` histogram,
+    `train_epochs` / `train_batches` / `train_sequences` counters).
+    """
+    obs.event(
+        event,
+        stage=stage,
+        epoch=epoch,
+        loss=loss,
+        batches=batches,
+        sequences=sequences,
+        grad_norm=grad_norm_sum / max(1, batches),
+        items_per_sec=sequences / seconds if seconds > 0 else 0.0,
+        epoch_seconds=seconds,
+        lr=lr,
+        **extra,
+    )
+    obs.observe("train.epoch_seconds", seconds)
+    obs.increment("train_epochs")
+    obs.increment("train_batches", batches)
+    obs.increment("train_sequences", sequences)
+
+
 def _runtime_rngs(model, rng: np.random.Generator) -> list[np.random.Generator]:
     """The generators a checkpoint must capture for bit-exact resume.
 
@@ -84,6 +124,7 @@ def pretrain_contrastive(
     config: ContrastivePretrainConfig,
     rng: np.random.Generator | None = None,
     runtime=None,
+    obs=None,
 ) -> PretrainHistory:
     """Optimize NT-Xent over augmented view pairs (paper §3.2).
 
@@ -94,7 +135,10 @@ def pretrain_contrastive(
     ``runtime`` (a :class:`repro.runtime.resume.TrainingRuntime`) adds
     periodic checkpoints, resume, and divergence rollback; interrupted
     runs raise :class:`repro.runtime.resume.TrainingInterrupted` after
-    flushing a final checkpoint.
+    flushing a final checkpoint.  ``obs`` (a
+    :class:`repro.obs.RunObserver`) records one ``pretrain_epoch``
+    event per epoch — NT-Xent loss, in-batch retrieval accuracy, mean
+    grad norm, sequences/sec and epoch wall time.
     """
     rng = rng if rng is not None else np.random.default_rng(config.seed)
     loader = ContrastiveBatchLoader(
@@ -129,7 +173,9 @@ def pretrain_contrastive(
         for epoch in range(start_epoch, config.epochs):
             if runtime is not None:
                 runtime.begin_epoch(epoch)
+            epoch_started = time.perf_counter()
             epoch_loss, epoch_acc, batches = 0.0, 0.0, 0
+            grad_norm_sum, sequences = 0.0, 0
             for batch in loader.epoch():
                 loss, accuracy = model.contrastive_loss(batch)
                 loss_value = loss.item()
@@ -146,11 +192,27 @@ def pretrain_contrastive(
                 schedule.step()
                 epoch_loss += loss_value
                 epoch_acc += accuracy
+                grad_norm_sum += grad_norm
+                sequences += len(batch.users)
                 batches += 1
                 if runtime is not None:
                     runtime.after_step()
             history.losses.append(epoch_loss / max(1, batches))
             history.accuracies.append(epoch_acc / max(1, batches))
+            if obs is not None:
+                _emit_epoch(
+                    obs,
+                    "pretrain_epoch",
+                    stage="pretrain",
+                    epoch=epoch,
+                    loss=history.losses[-1],
+                    batches=batches,
+                    sequences=sequences,
+                    grad_norm_sum=grad_norm_sum,
+                    seconds=time.perf_counter() - epoch_started,
+                    lr=optimizer.lr,
+                    accuracy=history.accuracies[-1],
+                )
             if runtime is not None:
                 runtime.end_epoch(epoch)
     if runtime is not None:
@@ -165,12 +227,17 @@ def train_joint(
     config: JointTrainConfig,
     rng: np.random.Generator | None = None,
     runtime=None,
+    obs=None,
 ):
     """Joint multi-task optimization: ``L_rec + λ · L_cl`` per step.
 
     Returns the supervised-loss history (a list of per-epoch means of
     the combined loss).  ``runtime`` behaves as in
-    :func:`pretrain_contrastive`.
+    :func:`pretrain_contrastive`.  ``obs`` records one ``joint_epoch``
+    event per epoch, splitting the combined loss into its supervised
+    (``rec_loss``) and weighted contrastive (``cl_loss``) components so
+    ablation questions (how much does InfoNCE contribute?) are
+    answerable from logs.
     """
     rng = rng if rng is not None else np.random.default_rng(config.seed)
     next_loader = NextItemBatchLoader(
@@ -208,7 +275,10 @@ def train_joint(
         for epoch in range(start_epoch, config.epochs):
             if runtime is not None:
                 runtime.begin_epoch(epoch)
+            epoch_started = time.perf_counter()
             epoch_loss, batches = 0.0, 0
+            rec_loss_sum, cl_loss_sum = 0.0, 0.0
+            grad_norm_sum, sequences = 0.0, 0
             cl_batches = iter(cl_loader.epoch())
             for batch in next_loader.epoch():
                 loss = model.sequence_loss(batch)
@@ -232,10 +302,30 @@ def train_joint(
                 optimizer.step()
                 schedule.step()
                 epoch_loss += total_value
+                rec_loss_sum += loss.item()
+                cl_loss_sum += config.cl_weight * cl_loss.item()
+                grad_norm_sum += grad_norm
+                sequences += len(batch.users)
                 batches += 1
                 if runtime is not None:
                     runtime.after_step()
             losses.append(epoch_loss / max(1, batches))
+            if obs is not None:
+                _emit_epoch(
+                    obs,
+                    "joint_epoch",
+                    stage="joint",
+                    epoch=epoch,
+                    loss=losses[-1],
+                    batches=batches,
+                    sequences=sequences,
+                    grad_norm_sum=grad_norm_sum,
+                    seconds=time.perf_counter() - epoch_started,
+                    lr=optimizer.lr,
+                    rec_loss=rec_loss_sum / max(1, batches),
+                    cl_loss=cl_loss_sum / max(1, batches),
+                    cl_weight=config.cl_weight,
+                )
             if runtime is not None:
                 runtime.end_epoch(epoch)
     if runtime is not None:

@@ -8,6 +8,7 @@ interacted with"), then the held-out target's rank yields HR/NDCG.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -82,8 +83,17 @@ class Evaluator:
         self.batch_size = batch_size
         self._users = dataset.evaluation_users(split)
 
-    def evaluate(self, model, max_users: int | None = None) -> EvaluationResult:
-        """Run the full-ranking protocol and return metrics."""
+    def evaluate(self, model, max_users: int | None = None, obs=None) -> EvaluationResult:
+        """Run the full-ranking protocol and return metrics.
+
+        ``obs`` (a :class:`repro.obs.RunObserver`) records per-batch
+        scoring latency into the ``eval.score_batch_seconds`` histogram
+        and emits one ``eval`` event with the resulting metrics, the
+        user/candidate counts, and the scoring-vs-ranking time split.
+        """
+        eval_started = time.perf_counter()
+        scoring_seconds = 0.0
+        candidates_scored = 0
         users = self._users if max_users is None else self._users[:max_users]
         targets = (
             self.dataset.test_targets
@@ -93,11 +103,17 @@ class Evaluator:
         all_ranks: list[np.ndarray] = []
         for start in range(0, len(users), self.batch_size):
             batch_users = users[start : start + self.batch_size]
+            score_started = time.perf_counter()
             scores = np.array(
                 candidate_scores(model, self.dataset, batch_users, split=self.split),
                 dtype=np.float64,
                 copy=True,
             )
+            batch_seconds = time.perf_counter() - score_started
+            scoring_seconds += batch_seconds
+            candidates_scored += scores.size
+            if obs is not None:
+                obs.observe("eval.score_batch_seconds", batch_seconds)
             if scores.shape != (len(batch_users), self.dataset.num_items + 1):
                 raise ValueError(
                     f"scoring returned shape {scores.shape}, expected "
@@ -118,8 +134,25 @@ class Evaluator:
             scores[rows, batch_targets] = target_scores
             all_ranks.append(rank_of_target(scores, batch_targets))
         ranks = np.concatenate(all_ranks) if all_ranks else np.array([])
+        metrics = ranking_metrics(ranks, self.ks)
+        if obs is not None:
+            eval_seconds = time.perf_counter() - eval_started
+            obs.observe("eval.seconds", eval_seconds)
+            obs.increment("eval_runs")
+            obs.increment("eval_users", len(users))
+            obs.increment("eval_candidates_scored", candidates_scored)
+            obs.event(
+                "eval",
+                split=self.split,
+                num_users=len(users),
+                candidates_scored=candidates_scored,
+                scoring_seconds=scoring_seconds,
+                ranking_seconds=eval_seconds - scoring_seconds,
+                eval_seconds=eval_seconds,
+                metrics=metrics,
+            )
         return EvaluationResult(
-            metrics=ranking_metrics(ranks, self.ks),
+            metrics=metrics,
             ranks=ranks,
             num_users=len(users),
         )

@@ -29,6 +29,7 @@ SECTION_ORDER = (
     "ablation_negatives",
     "extension_baselines",
     "serving_throughput",
+    "obs_overhead",
 )
 
 

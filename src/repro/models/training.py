@@ -12,6 +12,7 @@ and the best-validation parameters), and divergence rollback.
 
 from __future__ import annotations
 
+import time
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 
@@ -67,6 +68,7 @@ def train_next_item_model(
     config: TrainConfig,
     rng: np.random.Generator | None = None,
     runtime=None,
+    obs=None,
 ) -> TrainingHistory:
     """Run the supervised loop on any model with ``sequence_loss``.
 
@@ -80,7 +82,10 @@ def train_next_item_model(
     ``runtime`` (a :class:`repro.runtime.resume.TrainingRuntime`) adds
     periodic checkpoints, resume, and divergence rollback; interrupted
     runs raise :class:`repro.runtime.resume.TrainingInterrupted` after
-    flushing a final checkpoint.
+    flushing a final checkpoint.  ``obs`` (a
+    :class:`repro.obs.RunObserver`) records one ``train_epoch`` event
+    per epoch (loss, mean grad norm, sequences/sec, wall time) plus an
+    ``eval`` event for every mid-training validation pass.
     """
     rng = rng if rng is not None else np.random.default_rng(config.seed)
     sampler = None
@@ -148,8 +153,10 @@ def train_next_item_model(
         for epoch in range(start_epoch, config.epochs):
             if runtime is not None:
                 runtime.begin_epoch(epoch)
+            epoch_started = time.perf_counter()
             epoch_loss = 0.0
             batches = 0
+            grad_norm_sum, sequences = 0.0, 0
             for batch in loader.epoch():
                 loss = model.sequence_loss(batch)
                 loss_value = loss.item()
@@ -165,15 +172,34 @@ def train_next_item_model(
                 optimizer.step()
                 schedule.step()
                 epoch_loss += loss_value
+                grad_norm_sum += grad_norm
+                sequences += len(batch.users)
                 batches += 1
                 if runtime is not None:
                     runtime.after_step()
             history.losses.append(epoch_loss / max(1, batches))
+            if obs is not None:
+                from repro.core.trainer import _emit_epoch
+
+                _emit_epoch(
+                    obs,
+                    "train_epoch",
+                    stage="supervised",
+                    epoch=epoch,
+                    loss=history.losses[-1],
+                    batches=batches,
+                    sequences=sequences,
+                    grad_norm_sum=grad_norm_sum,
+                    seconds=time.perf_counter() - epoch_started,
+                    lr=optimizer.lr,
+                )
 
             stop = False
             if evaluator is not None and (epoch + 1) % config.eval_every == 0:
                 model.eval()
-                result = evaluator.evaluate(model, max_users=config.max_eval_users)
+                result = evaluator.evaluate(
+                    model, max_users=config.max_eval_users, obs=obs
+                )
                 model.train()
                 score = result[config.early_stopping_metric]
                 history.valid_scores.append(score)

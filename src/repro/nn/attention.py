@@ -13,6 +13,7 @@ from repro.nn import functional as F
 from repro.nn.layers import Dropout, Linear
 from repro.nn.module import Module
 from repro.nn.tensor import Tensor
+from repro.obs.profiling import profile_scope
 
 _NEG_INF = -1e9
 
@@ -82,6 +83,16 @@ class MultiHeadSelfAttention(Module):
             probabilities as a raw ``(batch, heads, length, length)``
             array (pre-dropout; for analysis, not for training).
         """
+        with profile_scope("nn.attention"):
+            return self._attend(x, causal, key_padding_mask, return_probs)
+
+    def _attend(
+        self,
+        x: Tensor,
+        causal: bool,
+        key_padding_mask: np.ndarray | None,
+        return_probs: bool,
+    ):
         batch, length, __ = x.shape
         q = self._split_heads(self.query_proj(x), batch, length)
         k = self._split_heads(self.key_proj(x), batch, length)

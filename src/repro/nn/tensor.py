@@ -27,6 +27,8 @@ from typing import Callable, Iterable, Sequence, Union
 
 import numpy as np
 
+from repro.obs import profiling as _profiling
+
 Arrayish = Union["Tensor", np.ndarray, float, int, list, tuple]
 
 _GRAD_ENABLED = True
@@ -329,6 +331,13 @@ class Tensor:
 
     def matmul(self, other: Arrayish) -> "Tensor":
         """Matrix product supporting batched operands (via ``np.matmul``)."""
+        profiler = _profiling.active()
+        if profiler is None:
+            return self._matmul_impl(other)
+        with profiler.scope("tensor.matmul"):
+            return self._matmul_impl(other)
+
+    def _matmul_impl(self, other: Arrayish) -> "Tensor":
         other = Tensor._coerce(other)
         out = np.matmul(self.data, other.data)
         self_data, other_data = self.data, other.data

@@ -22,6 +22,7 @@ from repro.nn.attention import MultiHeadSelfAttention
 from repro.nn.layers import Dropout, LayerNorm, Linear
 from repro.nn.module import Module
 from repro.nn.tensor import Tensor
+from repro.obs.profiling import profile_scope
 
 
 class PositionwiseFeedForward(Module):
@@ -104,6 +105,7 @@ class TransformerEncoder(Module):
         causal: bool = True,
         key_padding_mask: np.ndarray | None = None,
     ) -> Tensor:
-        for layer in self.layers:
-            x = layer(x, causal=causal, key_padding_mask=key_padding_mask)
-        return x
+        with profile_scope("nn.encoder"):
+            for layer in self.layers:
+                x = layer(x, causal=causal, key_padding_mask=key_padding_mask)
+            return x

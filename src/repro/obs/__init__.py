@@ -1,0 +1,61 @@
+"""``repro.obs`` — the unified observability layer.
+
+One measurement substrate for the whole system:
+
+* :mod:`repro.obs.registry` — in-process counters, gauges and
+  reservoir-percentile histograms with timer context managers.
+* :mod:`repro.obs.events` — the per-run ``obs.jsonl`` structured
+  event stream plus :class:`RunObserver`, the handle the training
+  loops, evaluator and runtime thread their telemetry through.
+* :mod:`repro.obs.profiling` — opt-in scoped timers around the hot
+  ``repro.nn`` paths (off by default, near-zero disabled cost).
+* :mod:`repro.obs.stats` — the ``python -m repro stats`` summarizer.
+
+Serving metrics (``repro.serve.metrics.ServingMetrics``) are a facade
+over the same registry, so training and serving export one schema.
+See ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.events import (
+    EVENTS_FILENAME,
+    SCHEMA_VERSION,
+    EventSink,
+    RunObserver,
+    read_events,
+)
+from repro.obs.profiling import (
+    PROFILE_ENV_VAR,
+    Profiler,
+    profile_scope,
+    profiled,
+)
+from repro.obs.registry import (
+    MAX_SAMPLES,
+    PERCENTILES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.stats import format_table, summarize_events, summarize_run
+
+__all__ = [
+    "Counter",
+    "EVENTS_FILENAME",
+    "EventSink",
+    "Gauge",
+    "Histogram",
+    "MAX_SAMPLES",
+    "MetricsRegistry",
+    "PERCENTILES",
+    "PROFILE_ENV_VAR",
+    "Profiler",
+    "RunObserver",
+    "SCHEMA_VERSION",
+    "format_table",
+    "profile_scope",
+    "profiled",
+    "read_events",
+    "summarize_events",
+    "summarize_run",
+]

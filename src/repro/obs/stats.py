@@ -1,0 +1,189 @@
+"""Summarize an ``obs.jsonl`` event stream into terminal tables.
+
+Backs the ``python -m repro stats <run-dir>`` subcommand: reads the
+events written by the instrumented training/eval loops and the
+fault-tolerant runtime (schema in ``docs/OBSERVABILITY.md``) and
+renders a compact plain-text report — run metadata, per-epoch loss
+tables per training stage, evaluation metrics, checkpoint/rollback
+accounting, and the final registry snapshot when present.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.obs.events import EVENTS_FILENAME, read_events
+
+#: Events carrying one row per training epoch, keyed by event name.
+EPOCH_EVENTS = ("pretrain_epoch", "train_epoch", "joint_epoch")
+
+
+def format_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Fixed-width plain-text table (no external dependencies)."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: list[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+
+    rule = "  ".join("-" * width for width in widths)
+    return "\n".join([line(headers), rule] + [line(row) for row in rows])
+
+
+def _fmt(value, digits: int = 4) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def _epoch_table(events: list[dict], name: str) -> str | None:
+    rows_src = [e for e in events if e.get("event") == name]
+    if not rows_src:
+        return None
+    # Columns: union of the numeric payload fields, in a stable order.
+    preferred = [
+        "epoch", "loss", "rec_loss", "cl_loss", "accuracy",
+        "grad_norm", "items_per_sec", "epoch_seconds", "lr",
+    ]
+    present = [c for c in preferred if any(c in e for e in rows_src)]
+    rows = []
+    for event in rows_src:
+        rows.append([
+            _fmt(event.get(c), digits=2 if c == "items_per_sec" else 4)
+            for c in present
+        ])
+    stage = rows_src[0].get("stage", name.replace("_epoch", ""))
+    return f"[{stage}] {len(rows_src)} epoch(s)\n" + format_table(present, rows)
+
+
+def _eval_table(events: list[dict]) -> str | None:
+    evals = [e for e in events if e.get("event") == "eval"]
+    if not evals:
+        return None
+    blocks = []
+    for i, event in enumerate(evals):
+        metrics = event.get("metrics", {})
+        headers = ["split", "users", "candidates", "seconds"] + sorted(metrics)
+        row = [
+            str(event.get("split", "-")),
+            _fmt(event.get("num_users")),
+            _fmt(event.get("candidates_scored")),
+            _fmt(event.get("eval_seconds")),
+        ] + [_fmt(metrics[k]) for k in sorted(metrics)]
+        blocks.append(format_table(headers, [row]))
+    return f"[eval] {len(evals)} run(s)\n" + "\n".join(blocks)
+
+
+def _runtime_lines(events: list[dict]) -> list[str]:
+    lines = []
+    saves = [e for e in events if e.get("event") == "checkpoint_saved"]
+    if saves:
+        total = sum(float(e.get("seconds", 0.0)) for e in saves)
+        lines.append(
+            f"checkpoints: {len(saves)} write(s), {total:.3f}s total "
+            f"({total / len(saves):.3f}s mean)"
+        )
+    failures = [e for e in events if e.get("event") == "checkpoint_write_failed"]
+    if failures:
+        lines.append(f"checkpoint write failures: {len(failures)}")
+    rollbacks = [e for e in events if e.get("event") == "divergence_rollback"]
+    if rollbacks:
+        lines.append(f"divergence rollbacks: {len(rollbacks)}")
+    resumes = [e for e in events if e.get("event") == "resume"]
+    for event in resumes:
+        lines.append(f"resumed from epoch {event.get('epoch')}")
+    return lines
+
+
+def _snapshot_lines(events: list[dict]) -> list[str]:
+    snapshots = [e for e in events if e.get("event") == "metrics_snapshot"]
+    if not snapshots:
+        return []
+    registry = snapshots[-1].get("registry", {})
+    lines = []
+    counters = registry.get("counters", {})
+    if counters:
+        lines.append("counters: " + ", ".join(
+            f"{name}={value}" for name, value in sorted(counters.items())
+        ))
+    histograms = registry.get("histograms", {})
+    if histograms:
+        headers = ["histogram", "count", "mean_ms", "p50_ms", "p99_ms", "max_ms"]
+        rows = [
+            [
+                name,
+                _fmt(summary.get("count")),
+                _fmt(summary.get("mean_ms"), 3),
+                _fmt(summary.get("p50_ms"), 3),
+                _fmt(summary.get("p99_ms"), 3),
+                _fmt(summary.get("max_ms"), 3),
+            ]
+            for name, summary in sorted(histograms.items())
+        ]
+        lines.append(format_table(headers, rows))
+    return lines
+
+
+def summarize_events(events: list[dict]) -> str:
+    """Render the full plain-text report for a parsed event list."""
+    sections: list[str] = []
+
+    starts = [e for e in events if e.get("event") == "run_start"]
+    header = f"{len(events)} event(s), {len(starts)} run segment(s)"
+    meta = starts[-1].get("meta", {}) if starts else {}
+    if meta:
+        header += "\n" + ", ".join(f"{k}={v}" for k, v in sorted(meta.items()))
+    sections.append(header)
+
+    for name in EPOCH_EVENTS:
+        table = _epoch_table(events, name)
+        if table:
+            sections.append(table)
+
+    eval_table = _eval_table(events)
+    if eval_table:
+        sections.append(eval_table)
+
+    runtime_lines = _runtime_lines(events)
+    if runtime_lines:
+        sections.append("[runtime]\n" + "\n".join(runtime_lines))
+
+    profile = [e for e in events if e.get("event") == "profile_summary"]
+    if profile:
+        scopes = profile[-1].get("scopes", {})
+        headers = ["scope", "calls", "total_ms", "mean_ms"]
+        rows = [
+            [
+                name,
+                _fmt(s.get("calls")),
+                _fmt(s.get("total_ms"), 2),
+                _fmt(s.get("mean_ms"), 4),
+            ]
+            for name, s in sorted(scopes.items())
+        ]
+        sections.append("[profile]\n" + format_table(headers, rows))
+
+    snapshot_lines = _snapshot_lines(events)
+    if snapshot_lines:
+        sections.append("[metrics]\n" + "\n".join(snapshot_lines))
+
+    return "\n\n".join(sections)
+
+
+def summarize_run(run_dir: str) -> str:
+    """Read ``<run_dir>/obs.jsonl`` (or a direct file path) and render.
+
+    Raises ``FileNotFoundError`` when no event stream exists.
+    """
+    path = run_dir
+    if os.path.isdir(run_dir):
+        path = os.path.join(run_dir, EVENTS_FILENAME)
+    if not os.path.exists(path):
+        raise FileNotFoundError(f"no {EVENTS_FILENAME} found at {path}")
+    return summarize_events(read_events(path))

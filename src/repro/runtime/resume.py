@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import json
 import signal
+import time
 from contextlib import contextmanager
 from typing import Iterator, MutableMapping, Sequence
 
@@ -102,6 +103,11 @@ class TrainingRuntime:
     handle_signals:
         Install SIGTERM/SIGINT handlers for the duration of the loop
         (skipped automatically off the main thread).
+    obs:
+        Optional :class:`repro.obs.RunObserver`; records
+        ``checkpoint.write_seconds`` latencies plus ``checkpoint_saved``,
+        ``checkpoint_write_failed``, ``divergence_rollback`` and
+        ``resume`` events (schema in ``docs/OBSERVABILITY.md``).
     """
 
     def __init__(
@@ -114,6 +120,7 @@ class TrainingRuntime:
         lr_backoff: float = 0.5,
         faults: FaultInjector | None = None,
         handle_signals: bool = True,
+        obs=None,
     ) -> None:
         if checkpoint_every < 0:
             raise ValueError(f"checkpoint_every must be >= 0, got {checkpoint_every}")
@@ -127,6 +134,7 @@ class TrainingRuntime:
         if faults is not None and manager.faults is None:
             manager.faults = faults
         self.handle_signals = handle_signals
+        self.obs = obs
 
         self.guard: DivergenceGuard | None = None
         self.interrupted = False
@@ -196,6 +204,14 @@ class TrainingRuntime:
                 step, payload = recovered
                 start_epoch = self._unpack(payload)
                 self.resumed_from = step
+                if self.obs is not None:
+                    self.obs.increment("resumes")
+                    self.obs.event(
+                        "resume",
+                        epoch=start_epoch,
+                        checkpoint_step=step,
+                        directory=self.manager.directory,
+                    )
         self._epoch = start_epoch
         if self.guard is not None:
             self.guard.snapshot()
@@ -222,7 +238,18 @@ class TrainingRuntime:
         """Guard check; False means rolled back — skip this update."""
         if self.guard is None:
             return True
-        return self.guard.observe(loss_value, grad_norm)
+        allowed = self.guard.observe(loss_value, grad_norm)
+        if not allowed and self.obs is not None:
+            self.obs.increment("divergence_rollbacks")
+            self.obs.event(
+                "divergence_rollback",
+                epoch=self._epoch,
+                global_step=self._global_step,
+                loss=loss_value,
+                grad_norm=grad_norm,
+                total_rollbacks=self.guard.total_rollbacks,
+            )
+        return allowed
 
     def after_step(self) -> None:
         """Advance the step counter; honor preemptions and signals."""
@@ -366,8 +393,24 @@ class TrainingRuntime:
     # Writes
     # ------------------------------------------------------------------
     def _write(self, step: int) -> None:
-        self.manager.save(step, self._flush_payload)
+        started = time.perf_counter()
+        try:
+            path = self.manager.save(step, self._flush_payload)
+        except OSError as error:
+            if self.obs is not None:
+                self.obs.increment("checkpoint_write_failures")
+                self.obs.event(
+                    "checkpoint_write_failed", step=step, error=str(error)
+                )
+            raise
+        seconds = time.perf_counter() - started
         self._last_written = step
+        if self.obs is not None:
+            self.obs.observe("checkpoint.write_seconds", seconds)
+            self.obs.increment("checkpoints_written")
+            self.obs.event(
+                "checkpoint_saved", step=step, seconds=seconds, path=path
+            )
 
     def _flush(self) -> None:
         """Best-effort final checkpoint of the last epoch boundary."""

@@ -1,78 +1,33 @@
-"""Lightweight serving metrics: latency histograms, counters, cache stats.
+"""Serving metrics: a thin facade over the shared ``repro.obs`` registry.
 
-Everything is in-process and allocation-cheap — a handful of Python
-floats per request — so the engine can stay instrumented in production
-without a metrics backend.  :meth:`ServingMetrics.snapshot` exports the
-whole state as one JSON-friendly dict (schema in ``docs/SERVING.md``).
+Historically this module owned its own histogram implementation; the
+reservoir/percentile machinery now lives in
+:class:`repro.obs.registry.Histogram` so serving and training share
+one metrics substrate (and one set of edge-case fixes).  The exported
+JSON schema is unchanged from the original serving engine
+(``docs/SERVING.md``): ``uptime_seconds``, ``counters``, ``cache``,
+``throughput`` and per-stage ``latency`` summaries.
+
+``LatencyHistogram`` remains importable here as an alias of the shared
+:class:`~repro.obs.registry.Histogram`.
 """
 
 from __future__ import annotations
 
 import json
 import time
-from contextlib import contextmanager
-from typing import Iterator
 
-import numpy as np
+from repro.obs.registry import MAX_SAMPLES, PERCENTILES, Histogram, MetricsRegistry
 
-#: Per-histogram sample cap; beyond it the reservoir keeps a uniform
-#: random subsample so long-running servers stay O(1) in memory.
-MAX_SAMPLES = 65536
+__all__ = [
+    "LatencyHistogram",
+    "MAX_SAMPLES",
+    "PERCENTILES",
+    "ServingMetrics",
+]
 
-PERCENTILES = (50.0, 90.0, 99.0)
-
-
-class LatencyHistogram:
-    """Streaming latency recorder with percentile summaries.
-
-    Stores raw samples (seconds) up to :data:`MAX_SAMPLES`, then
-    reservoir-samples so percentiles stay representative of the whole
-    run, not just its head.  Counts and totals are always exact.
-    """
-
-    def __init__(self, max_samples: int = MAX_SAMPLES, seed: int = 0) -> None:
-        if max_samples < 1:
-            raise ValueError(f"max_samples must be positive, got {max_samples}")
-        self.max_samples = max_samples
-        self.count = 0
-        self.total_seconds = 0.0
-        self.max_seconds = 0.0
-        self._samples: list[float] = []
-        self._rng = np.random.default_rng(seed)
-
-    def record(self, seconds: float) -> None:
-        """Add one observation (in seconds)."""
-        seconds = float(seconds)
-        self.count += 1
-        self.total_seconds += seconds
-        self.max_seconds = max(self.max_seconds, seconds)
-        if len(self._samples) < self.max_samples:
-            self._samples.append(seconds)
-        else:  # reservoir sampling, Vitter's algorithm R
-            slot = int(self._rng.integers(0, self.count))
-            if slot < self.max_samples:
-                self._samples[slot] = seconds
-
-    @property
-    def mean_seconds(self) -> float:
-        return self.total_seconds / self.count if self.count else 0.0
-
-    def percentile(self, q: float) -> float:
-        """q-th percentile of the recorded latencies, in seconds."""
-        if not self._samples:
-            return 0.0
-        return float(np.percentile(np.asarray(self._samples), q))
-
-    def summary(self) -> dict[str, float]:
-        """JSON-friendly summary (milliseconds for the human-scale fields)."""
-        out = {
-            "count": self.count,
-            "mean_ms": self.mean_seconds * 1e3,
-            "max_ms": self.max_seconds * 1e3,
-        }
-        for q in PERCENTILES:
-            out[f"p{q:g}_ms"] = self.percentile(q) * 1e3
-        return out
+#: Backwards-compatible name: the serving histogram IS the shared one.
+LatencyHistogram = Histogram
 
 
 class ServingMetrics:
@@ -83,34 +38,35 @@ class ServingMetrics:
     * ``counters`` — monotone counts: requests served, sequences
       encoded, items scored, batches flushed.
     * user-representation cache hits/misses with a derived hit rate.
+
+    All state lives in a :class:`repro.obs.registry.MetricsRegistry`;
+    pass one in to share instruments with a wider observability setup
+    (e.g. a :class:`repro.obs.RunObserver`).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
         self.started_at = time.time()
-        self.stages: dict[str, LatencyHistogram] = {}
-        self.counters: dict[str, int] = {}
+        self.registry = registry if registry is not None else MetricsRegistry()
 
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
-    def stage(self, name: str) -> LatencyHistogram:
-        """The histogram for ``name``, created on first use."""
-        if name not in self.stages:
-            self.stages[name] = LatencyHistogram()
-        return self.stages[name]
+    @property
+    def stages(self) -> dict[str, Histogram]:
+        """Per-stage latency histograms (the registry's, by reference)."""
+        return self.registry.histograms
 
-    @contextmanager
-    def time_stage(self, name: str) -> Iterator[None]:
+    def stage(self, name: str) -> Histogram:
+        """The histogram for ``name``, created on first use."""
+        return self.registry.histogram(name)
+
+    def time_stage(self, name: str):
         """Context manager recording the body's wall time under ``name``."""
-        started = time.perf_counter()
-        try:
-            yield
-        finally:
-            self.stage(name).record(time.perf_counter() - started)
+        return self.registry.timer(name)
 
     def increment(self, name: str, by: int = 1) -> None:
         """Bump counter ``name`` (created at zero on first use)."""
-        self.counters[name] = self.counters.get(name, 0) + int(by)
+        self.registry.increment(name, by)
 
     def record_cache(self, hit: bool) -> None:
         """Count one user-representation cache lookup."""
@@ -120,10 +76,20 @@ class ServingMetrics:
     # Export
     # ------------------------------------------------------------------
     @property
+    def counters(self) -> dict[str, int]:
+        """Plain ``name -> count`` view of every counter."""
+        return self.registry.counter_values()
+
+    def _count(self, name: str) -> int:
+        """A counter's value without creating it on read."""
+        counter = self.registry.counters.get(name)
+        return counter.value if counter is not None else 0
+
+    @property
     def cache_hit_rate(self) -> float:
         """Fraction of representation lookups served from cache."""
-        hits = self.counters.get("user_cache_hits", 0)
-        misses = self.counters.get("user_cache_misses", 0)
+        hits = self._count("user_cache_hits")
+        misses = self._count("user_cache_misses")
         lookups = hits + misses
         return hits / lookups if lookups else 0.0
 
@@ -133,20 +99,22 @@ class ServingMetrics:
         elapsed = time.time() - self.started_at
         if elapsed <= 0:
             return 0.0
-        return self.counters.get("requests", 0) / elapsed
+        return self._count("requests") / elapsed
 
     def snapshot(self) -> dict:
         """The full metrics state as a JSON-friendly dict."""
         return {
             "uptime_seconds": time.time() - self.started_at,
-            "counters": dict(self.counters),
+            "counters": self.counters,
             "cache": {
-                "hits": self.counters.get("user_cache_hits", 0),
-                "misses": self.counters.get("user_cache_misses", 0),
+                "hits": self._count("user_cache_hits"),
+                "misses": self._count("user_cache_misses"),
                 "hit_rate": self.cache_hit_rate,
             },
             "throughput": {"requests_per_second": self.requests_per_second},
-            "latency": {name: hist.summary() for name, hist in self.stages.items()},
+            "latency": {
+                name: hist.summary() for name, hist in self.stages.items()
+            },
         }
 
     def to_json(self, indent: int = 2) -> str:

@@ -1,0 +1,103 @@
+"""The ``repro stats`` renderer: obs.jsonl → terminal tables."""
+
+import pytest
+
+from repro.obs.events import EventSink, RunObserver
+from repro.obs.stats import format_table, summarize_events, summarize_run
+
+
+def make_run(tmp_path) -> str:
+    """Write a representative obs.jsonl covering every section."""
+    obs = RunObserver.to_directory(
+        str(tmp_path), meta={"dataset": "beauty", "mode": "joint", "seed": 0}
+    )
+    obs.event(
+        "joint_epoch", stage="joint", epoch=0, loss=2.5, rec_loss=2.3,
+        cl_loss=0.2, grad_norm=1.1, items_per_sec=950.0, epoch_seconds=1.5,
+        lr=1e-3,
+    )
+    obs.event(
+        "joint_epoch", stage="joint", epoch=1, loss=2.1, rec_loss=1.95,
+        cl_loss=0.15, grad_norm=0.9, items_per_sec=980.0, epoch_seconds=1.4,
+        lr=9e-4,
+    )
+    obs.event("checkpoint_saved", step=10, seconds=0.02, path="ckpt/epoch_1.npz")
+    obs.event(
+        "divergence_rollback", epoch=1, global_step=12, loss=float("nan"),
+        grad_norm=99.0, total_rollbacks=1,
+    )
+    obs.event(
+        "eval", split="test", num_users=100, candidates_scored=8100,
+        scoring_seconds=0.4, ranking_seconds=0.1, eval_seconds=0.5,
+        metrics={"HR@10": 0.31, "NDCG@10": 0.18},
+    )
+    obs.event(
+        "profile_summary",
+        scopes={"nn.attention": {"calls": 64, "total_ms": 12.0, "mean_ms": 0.19}},
+    )
+    obs.observe("train.epoch_seconds", 1.5)
+    obs.close()
+    return str(tmp_path)
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        out = format_table(["name", "n"], [["alpha", "1"], ["b", "22"]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert out.splitlines()[0] == "a"
+
+
+class TestSummarizeRun:
+    def test_all_sections_render(self, tmp_path):
+        report = summarize_run(make_run(tmp_path))
+        assert "dataset=beauty" in report
+        assert "[joint] 2 epoch(s)" in report
+        assert "rec_loss" in report and "cl_loss" in report
+        assert "[eval] 1 run(s)" in report
+        assert "HR@10" in report
+        assert "checkpoints: 1 write(s)" in report
+        assert "divergence rollbacks: 1" in report
+        assert "[profile]" in report and "nn.attention" in report
+        assert "[metrics]" in report and "train.epoch_seconds" in report
+
+    def test_nan_loss_renders_as_dash(self, tmp_path):
+        # The rollback event carries loss=NaN; it must reach the report
+        # as "-" (via the sink's None mapping), never the string "nan".
+        report = summarize_run(make_run(tmp_path))
+        assert "nan" not in report.lower()
+
+    def test_accepts_direct_file_path(self, tmp_path):
+        run_dir = make_run(tmp_path)
+        assert summarize_run(run_dir) == summarize_run(run_dir + "/obs.jsonl")
+
+    def test_missing_stream_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            summarize_run(str(tmp_path / "nope"))
+
+    def test_minimal_stream(self, tmp_path):
+        EventSink(str(tmp_path)).close()
+        report = summarize_run(str(tmp_path))
+        assert "1 event(s)" in report
+
+
+class TestSummarizeEvents:
+    def test_multiple_stages_get_separate_tables(self):
+        events = [
+            {"event": "pretrain_epoch", "stage": "pretrain", "epoch": 0,
+             "loss": 4.0, "accuracy": 0.1},
+            {"event": "train_epoch", "stage": "supervised", "epoch": 0,
+             "loss": 2.0},
+        ]
+        report = summarize_events(events)
+        assert "[pretrain]" in report
+        assert "[supervised]" in report
+        assert "accuracy" in report
+
+    def test_empty_event_list(self):
+        assert "0 event(s)" in summarize_events([])

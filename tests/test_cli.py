@@ -217,3 +217,64 @@ class TestMain:
         )
         assert code == 0
         assert "Figure 4" in capsys.readouterr().out
+
+
+class TestObservabilityCli:
+    def test_stats_parser_takes_run_dir(self):
+        args = build_parser().parse_args(["stats", "runs/exp1"])
+        assert args.command == "stats" and args.run_dir == "runs/exp1"
+
+    def test_train_obs_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["train", "--obs-dir", "runs/exp1", "--profile"]
+        )
+        assert args.obs_dir == "runs/exp1" and args.profile
+
+    def test_stats_missing_run_dir_fails(self, capsys, tmp_path):
+        assert main(["stats", str(tmp_path / "nope")]) == 2
+        assert "obs.jsonl" in capsys.readouterr().err
+
+    def test_train_obs_dir_then_stats(self, capsys, tmp_path):
+        """train --obs-dir writes a valid stream and stats renders it."""
+        import json
+
+        from repro.obs import read_events
+
+        run_dir = tmp_path / "run"
+        code = main(
+            ["train", "--dataset", "beauty", "--dataset-scale", "0.01",
+             "--dim", "16", "--max-length", "12", "--mode", "joint",
+             "--epochs", "2", "--checkpoint-dir", str(tmp_path / "ckpts"),
+             "--obs-dir", str(run_dir), "--profile"]
+        )
+        assert code == 0
+        capsys.readouterr()
+
+        # Every line is strict JSON with the schema envelope.
+        lines = (run_dir / "obs.jsonl").read_text().splitlines()
+        for line in lines:
+            record = json.loads(line)
+            assert record["v"] == 1 and "seq" in record and "event" in record
+
+        names = [e["event"] for e in read_events(str(run_dir))]
+        assert names[0] == "run_start" and names[-1] == "run_end"
+        for expected in ("joint_epoch", "checkpoint_saved", "eval",
+                         "profile_summary", "metrics_snapshot"):
+            assert expected in names, f"missing {expected} event"
+
+        assert main(["stats", str(run_dir)]) == 0
+        report = capsys.readouterr().out
+        assert "[joint] 2 epoch(s)" in report
+        assert "[eval]" in report
+        assert "[profile]" in report
+
+    def test_train_without_obs_dir_writes_nothing(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main(
+            ["train", "--dataset", "beauty", "--dataset-scale", "0.01",
+             "--dim", "16", "--max-length", "12", "--mode", "joint",
+             "--epochs", "1", "--checkpoint-dir", str(tmp_path / "ckpts")]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert not (tmp_path / "obs.jsonl").exists()

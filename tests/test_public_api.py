@@ -27,6 +27,7 @@ class TestPublicAPI:
             "repro.eval",
             "repro.experiments",
             "repro.analysis",
+            "repro.obs",
         ):
             module = importlib.import_module(module_name)
             assert hasattr(module, "__all__"), module_name
@@ -50,6 +51,10 @@ class TestPublicAPI:
             "repro.models.sasrec",
             "repro.eval.metrics",
             "repro.experiments.table2",
+            "repro.obs.registry",
+            "repro.obs.events",
+            "repro.obs.profiling",
+            "repro.obs.stats",
         ):
             module = importlib.import_module(module_name)
             assert module.__doc__, module_name
