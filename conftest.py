@@ -20,3 +20,10 @@ def pytest_addoption(parser):
         help="Regenerate the golden regression fixtures under tests/golden/ "
         "instead of comparing against them.",
     )
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="Run benchmarks at a reduced scale (CI smoke mode): smaller "
+        "datasets and fewer repetitions, same assertions.",
+    )

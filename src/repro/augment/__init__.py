@@ -11,9 +11,28 @@
 the contrastive framework (two operators drawn from the augmentation
 set are applied to the same sequence to form a positive pair) and a
 sequential ``Compose`` for the RQ3 composition study.
+
+The operators above are the scalar *reference* implementations: one
+unpadded sequence per call.  :mod:`repro.augment.batched` provides
+their matrix-form counterparts over left-padded ``(B, T)`` batches —
+the hot path of ``pipeline="vectorized"`` training (see
+``docs/PERFORMANCE.md``) — property-tested to follow the same
+per-row laws.
 """
 
 from repro.augment.base import Augmentation, Identity
+from repro.augment.batched import (
+    BatchCompose,
+    BatchCrop,
+    BatchIdentity,
+    BatchMask,
+    BatchPairSampler,
+    BatchReorder,
+    BatchScalarFallback,
+    BatchedAugmentation,
+    batched_operator,
+    spawn_stream,
+)
 from repro.augment.compose import Compose, PairSampler
 from repro.augment.correlation import ItemCorrelation
 from repro.augment.crop import Crop
@@ -24,6 +43,14 @@ from repro.augment.reorder import Reorder
 
 __all__ = [
     "Augmentation",
+    "BatchCompose",
+    "BatchCrop",
+    "BatchIdentity",
+    "BatchMask",
+    "BatchPairSampler",
+    "BatchReorder",
+    "BatchScalarFallback",
+    "BatchedAugmentation",
     "Compose",
     "Crop",
     "Identity",
@@ -33,6 +60,8 @@ __all__ = [
     "PairSampler",
     "Reorder",
     "Substitute",
+    "batched_operator",
     "make_operator",
     "make_operator_set",
+    "spawn_stream",
 ]

@@ -8,6 +8,12 @@ same sequence, producing the two correlated views of a positive pair.
 :class:`Compose` chains operators sequentially — used by the RQ3
 composition study (Figure 5), where each *view* is produced by a
 composite of two basic operators.
+
+Both classes operate on one scalar sequence per call; their matrix
+counterparts (:class:`~repro.augment.batched.BatchCompose`,
+:class:`~repro.augment.batched.BatchPairSampler`) carry the same
+semantics across a whole left-padded batch for the vectorized data
+pipeline.
 """
 
 from __future__ import annotations

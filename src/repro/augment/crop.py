@@ -10,10 +10,20 @@ from repro.augment.base import Augmentation
 class Crop(Augmentation):
     """Keep a random contiguous sub-sequence of proportion ``eta``.
 
-    For a sequence of length ``n`` the crop length is
+    Paper Eq. (4): for a sequence of length ``n`` the crop length is
     ``L_c = floor(eta * n)`` (at least 1), starting at a uniformly
     random position.  Small ``eta`` is a *strong* augmentation (little
     of the original view survives).
+
+    Scalar contract: ``op(sequence, rng) -> view`` on one 1-D array —
+    the output is *shorter* than the input (length ``L_c``).  The
+    matrix counterpart :class:`~repro.augment.batched.BatchCrop`
+    applies the same law to every row of a left-padded ``(B, T)``
+    batch at once and re-pads the shortened views.
+
+    Edge cases: an empty sequence returns an empty copy; ``n == 1`` is
+    a fixed point (the single item always survives via the ``max(1,
+    ...)`` floor).
     """
 
     def __init__(self, eta: float) -> None:

@@ -6,6 +6,11 @@ CL4SRec's random crop/mask/reorder spawned follow-up work on
 and **insert** (inject correlated items).  They are implemented here as
 the repository's future-work extension, driven by the co-occurrence
 statistics in :class:`repro.augment.correlation.ItemCorrelation`.
+
+These operators have no hand-written matrix form; under
+``pipeline="vectorized"`` they run through
+:class:`repro.augment.batched.BatchScalarFallback`, which loops rows
+but still benefits from precomputed padding and prefetching.
 """
 
 from __future__ import annotations

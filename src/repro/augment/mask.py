@@ -10,9 +10,20 @@ from repro.augment.base import Augmentation
 class Mask(Augmentation):
     """Replace a random proportion ``gamma`` of items with ``[mask]``.
 
-    ``L_m = floor(gamma * n)`` positions are chosen uniformly without
-    replacement and overwritten with ``mask_token``.  The sequence
-    length is preserved.  High ``gamma`` is a strong augmentation.
+    Paper Eq. (5): ``L_m = floor(gamma * n)`` positions are chosen
+    uniformly without replacement and overwritten with ``mask_token``.
+    The sequence length is preserved.  High ``gamma`` is a strong
+    augmentation.
+
+    Scalar contract: ``op(sequence, rng) -> view`` on one 1-D array,
+    same length out as in.  The matrix counterpart
+    :class:`~repro.augment.batched.BatchMask` masks every row of a
+    left-padded ``(B, T)`` batch in one shot and never touches
+    padding.
+
+    Edge cases: an empty sequence returns an empty copy; ``n == 1``
+    is masked only when ``gamma == 1`` (``floor`` rounds the count to
+    zero below that).
 
     Parameters
     ----------

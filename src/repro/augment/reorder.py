@@ -10,10 +10,19 @@ from repro.augment.base import Augmentation
 class Reorder(Augmentation):
     """Shuffle a random contiguous sub-sequence of proportion ``beta``.
 
-    A window of length ``L_r = floor(beta * n)`` starting at a random
-    position is permuted uniformly; everything outside the window keeps
-    its order.  High ``beta`` is a strong augmentation and encodes the
-    paper's *flexible order* assumption.
+    Paper Eq. (6): a window of length ``L_r = floor(beta * n)``
+    starting at a random position is permuted uniformly; everything
+    outside the window keeps its order.  High ``beta`` is a strong
+    augmentation and encodes the paper's *flexible order* assumption.
+
+    Scalar contract: ``op(sequence, rng) -> view`` on one 1-D array,
+    same multiset of items out as in.  The matrix counterpart
+    :class:`~repro.augment.batched.BatchReorder` permutes every row's
+    window of a left-padded ``(B, T)`` batch in one shot.
+
+    Edge cases: an empty sequence returns an empty copy; any window
+    shorter than 2 — which includes every ``n <= 1`` sequence — makes
+    the operator a no-op.
     """
 
     def __init__(self, beta: float) -> None:

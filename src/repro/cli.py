@@ -309,6 +309,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable scoped nn profiling timers (matmul/attention/encoder); "
         "off by default — also enabled by REPRO_PROFILE=1",
     )
+    p_tr.add_argument(
+        "--pipeline",
+        choices=["reference", "vectorized"],
+        default="reference",
+        help="batch-construction path: 'reference' (scalar, bit-compatible "
+        "with the golden fixtures) or 'vectorized' (matrix-form augmentation "
+        "+ background prefetch; see docs/PERFORMANCE.md)",
+    )
     _add_scale_arguments(p_tr)
 
     p_st = sub.add_parser(
@@ -391,6 +399,11 @@ def _run_train(args: argparse.Namespace) -> int:
     scale = _scale_from_args(args)
     dataset = load_dataset(args.dataset, scale=scale.dataset_scale, seed=scale.seed)
     model = build_model("CL4SRec", dataset, scale, mode=args.mode)
+    # Thread the batch-construction path into every stage config the
+    # selected mode may run (joint, pretrain, supervised fine-tune).
+    model.cl_config.joint.pipeline = args.pipeline
+    model.cl_config.pretrain.pipeline = args.pipeline
+    model.cl_config.sasrec.train.pipeline = args.pipeline
     faults = None
     if args.preempt_at is not None:
         faults = FaultInjector().preempt(at=args.preempt_at)
@@ -405,6 +418,7 @@ def _run_train(args: argparse.Namespace) -> int:
                 "command": "train",
                 "dataset": args.dataset,
                 "mode": args.mode,
+                "pipeline": args.pipeline,
                 "preset": args.preset,
                 "seed": scale.seed,
             },

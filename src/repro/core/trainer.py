@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.data.loaders import ContrastiveBatchLoader, NextItemBatchLoader
+from repro.data.pipeline import CyclingStream, batch_stream
 from repro.data.preprocessing import SequenceDataset
 from repro.nn.optim import Adam, GradientClipper, LinearDecaySchedule
 
@@ -40,6 +41,10 @@ class ContrastivePretrainConfig:
     temperature: float = 1.0
     lr_final_factor: float = 0.1
     clip_norm: float = 5.0
+    # Batch construction: "reference" (scalar, bit-compatible with the
+    # golden fixtures) or "vectorized" (matrix-form augmentation +
+    # background prefetch — see docs/PERFORMANCE.md).
+    pipeline: str = "reference"
     seed: int = 0
 
 
@@ -55,6 +60,8 @@ class JointTrainConfig:
     cl_weight: float = 0.1  # λ in L_rec + λ·L_cl
     lr_final_factor: float = 0.1
     clip_norm: float = 5.0
+    # Batch construction path; see ContrastivePretrainConfig.pipeline.
+    pipeline: str = "reference"
     seed: int = 0
 
 
@@ -147,6 +154,8 @@ def pretrain_contrastive(
         config.max_length,
         config.batch_size,
         rng,
+        pipeline=config.pipeline,
+        obs=obs,
     )
     params = list(model.contrastive_parameters())
     optimizer = Adam(params, lr=config.learning_rate)
@@ -176,27 +185,30 @@ def pretrain_contrastive(
             epoch_started = time.perf_counter()
             epoch_loss, epoch_acc, batches = 0.0, 0.0, 0
             grad_norm_sum, sequences = 0.0, 0
-            for batch in loader.epoch():
-                loss, accuracy = model.contrastive_loss(batch)
-                loss_value = loss.item()
-                optimizer.zero_grad()
-                loss.backward()
-                grad_norm = clipper.clip()
-                if runtime is not None:
-                    loss_value = runtime.intercept_loss(loss_value)
-                    if not runtime.allow_update(loss_value, grad_norm):
-                        optimizer.zero_grad()
+            with batch_stream(
+                loader.epoch(), config.pipeline, obs=obs
+            ) as epoch_batches:
+                for batch in epoch_batches:
+                    loss, accuracy = model.contrastive_loss(batch)
+                    loss_value = loss.item()
+                    optimizer.zero_grad()
+                    loss.backward()
+                    grad_norm = clipper.clip()
+                    if runtime is not None:
+                        loss_value = runtime.intercept_loss(loss_value)
+                        if not runtime.allow_update(loss_value, grad_norm):
+                            optimizer.zero_grad()
+                            runtime.after_step()
+                            continue
+                    optimizer.step()
+                    schedule.step()
+                    epoch_loss += loss_value
+                    epoch_acc += accuracy
+                    grad_norm_sum += grad_norm
+                    sequences += len(batch.users)
+                    batches += 1
+                    if runtime is not None:
                         runtime.after_step()
-                        continue
-                optimizer.step()
-                schedule.step()
-                epoch_loss += loss_value
-                epoch_acc += accuracy
-                grad_norm_sum += grad_norm
-                sequences += len(batch.users)
-                batches += 1
-                if runtime is not None:
-                    runtime.after_step()
             history.losses.append(epoch_loss / max(1, batches))
             history.accuracies.append(epoch_acc / max(1, batches))
             if obs is not None:
@@ -241,7 +253,12 @@ def train_joint(
     """
     rng = rng if rng is not None else np.random.default_rng(config.seed)
     next_loader = NextItemBatchLoader(
-        dataset, config.max_length, config.batch_size, rng
+        dataset,
+        config.max_length,
+        config.batch_size,
+        rng,
+        pipeline=config.pipeline,
+        obs=obs,
     )
     cl_loader = ContrastiveBatchLoader(
         dataset,
@@ -249,6 +266,8 @@ def train_joint(
         config.max_length,
         config.batch_size,
         rng,
+        pipeline=config.pipeline,
+        obs=obs,
     )
     params = list(model.contrastive_parameters())
     optimizer = Adam(params, lr=config.learning_rate)
@@ -279,36 +298,40 @@ def train_joint(
             epoch_loss, batches = 0.0, 0
             rec_loss_sum, cl_loss_sum = 0.0, 0.0
             grad_norm_sum, sequences = 0.0, 0
-            cl_batches = iter(cl_loader.epoch())
-            for batch in next_loader.epoch():
-                loss = model.sequence_loss(batch)
-                try:
-                    cl_batch = next(cl_batches)
-                except StopIteration:
-                    cl_batches = iter(cl_loader.epoch())
-                    cl_batch = next(cl_batches)
-                cl_loss, __acc = model.contrastive_loss(cl_batch)
-                total = loss + config.cl_weight * cl_loss
-                total_value = total.item()
-                optimizer.zero_grad()
-                total.backward()
-                grad_norm = clipper.clip()
-                if runtime is not None:
-                    total_value = runtime.intercept_loss(total_value)
-                    if not runtime.allow_update(total_value, grad_norm):
-                        optimizer.zero_grad()
+            # One contrastive batch per supervised batch; the
+            # contrastive side cycles when its (shorter) epoch runs
+            # dry.  Both streams are prefetched on the vectorized path
+            # and torn down even when the loop exits early.
+            with CyclingStream(
+                cl_loader, pipeline=config.pipeline, obs=obs
+            ) as cl_stream, batch_stream(
+                next_loader.epoch(), config.pipeline, obs=obs
+            ) as epoch_batches:
+                for batch in epoch_batches:
+                    loss = model.sequence_loss(batch)
+                    cl_batch = cl_stream.next()
+                    cl_loss, __acc = model.contrastive_loss(cl_batch)
+                    total = loss + config.cl_weight * cl_loss
+                    total_value = total.item()
+                    optimizer.zero_grad()
+                    total.backward()
+                    grad_norm = clipper.clip()
+                    if runtime is not None:
+                        total_value = runtime.intercept_loss(total_value)
+                        if not runtime.allow_update(total_value, grad_norm):
+                            optimizer.zero_grad()
+                            runtime.after_step()
+                            continue
+                    optimizer.step()
+                    schedule.step()
+                    epoch_loss += total_value
+                    rec_loss_sum += loss.item()
+                    cl_loss_sum += config.cl_weight * cl_loss.item()
+                    grad_norm_sum += grad_norm
+                    sequences += len(batch.users)
+                    batches += 1
+                    if runtime is not None:
                         runtime.after_step()
-                        continue
-                optimizer.step()
-                schedule.step()
-                epoch_loss += total_value
-                rec_loss_sum += loss.item()
-                cl_loss_sum += config.cl_weight * cl_loss.item()
-                grad_norm_sum += grad_norm
-                sequences += len(batch.users)
-                batches += 1
-                if runtime is not None:
-                    runtime.after_step()
             losses.append(epoch_loss / max(1, batches))
             if obs is not None:
                 _emit_epoch(

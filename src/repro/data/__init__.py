@@ -32,6 +32,16 @@ from repro.data.loaders import (
     PopularityNegativeSampler,
     pad_left,
 )
+from repro.data.pipeline import (
+    PIPELINES,
+    CyclingStream,
+    PaddedViews,
+    Prefetcher,
+    batch_stream,
+    build_padded_views,
+    padded_views,
+    validate_pipeline,
+)
 from repro.data.registry import (
     DATASETS,
     DatasetSpec,
@@ -48,18 +58,26 @@ from repro.data.synthetic import (
 
 __all__ = [
     "DATASETS",
+    "PIPELINES",
     "ContrastiveBatch",
     "ContrastiveBatchLoader",
+    "CyclingStream",
     "DatasetSpec",
     "InteractionLog",
     "MalformedRowsSkipped",
     "NegativeSampler",
     "NextItemBatch",
     "NextItemBatchLoader",
+    "PaddedViews",
     "PopularityNegativeSampler",
+    "Prefetcher",
     "SequenceDataset",
     "SyntheticConfig",
     "TemporalSplit",
+    "batch_stream",
+    "build_padded_views",
+    "padded_views",
+    "validate_pipeline",
     "build_sequences",
     "dataset_names",
     "dataset_report",

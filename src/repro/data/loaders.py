@@ -3,15 +3,34 @@
 Sequences are **left-padded** to the maximum length ``T`` so that the
 most recent item always sits at the last position — the position whose
 hidden state is the user representation (paper Eq. 13).
+
+Both loaders build their padded matrices by fancy-indexing the
+dataset's precomputed views (:func:`repro.data.pipeline.padded_views`)
+instead of looping over users per batch.  The ``pipeline`` switch
+selects how the *stochastic* part of a batch is produced:
+
+* ``"reference"`` (default) — augmentation and sampling draw from the
+  caller's generator one sequence at a time, bit-compatible with the
+  original scalar implementation (the golden fixtures pin this path).
+* ``"vectorized"`` — augmentation runs in matrix form
+  (:mod:`repro.augment.batched`) and all loader randomness moves to a
+  dedicated child stream, which makes the loader safe to drive from a
+  background :class:`~repro.data.pipeline.Prefetcher` thread.
+
+See ``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
 import numpy as np
 
+from repro.augment.batched import BatchPairSampler, spawn_stream
+from repro.augment.compose import PairSampler
+from repro.data.pipeline import padded_views, validate_pipeline
 from repro.data.preprocessing import SequenceDataset
 
 
@@ -137,7 +156,15 @@ class NextItemBatch:
 
 
 class NextItemBatchLoader:
-    """Yields shuffled :class:`NextItemBatch` epochs from a dataset."""
+    """Yields shuffled :class:`NextItemBatch` epochs from a dataset.
+
+    Batch matrices are fancy-indexed rows of the dataset's precomputed
+    padded views — bit-identical to per-batch ``pad_left`` loops but
+    built in O(batch) numpy work.  With ``pipeline="vectorized"`` the
+    loader additionally moves shuffling and negative sampling onto a
+    private child stream so a background prefetcher can drive it
+    without racing the model's generator.
+    """
 
     def __init__(
         self,
@@ -147,15 +174,27 @@ class NextItemBatchLoader:
         rng: np.random.Generator,
         min_sequence_length: int = 2,
         negative_sampler: NegativeSampler | None = None,
+        pipeline: str = "reference",
+        obs=None,
     ) -> None:
         self.dataset = dataset
         self.max_length = max_length
         self.batch_size = batch_size
-        self._rng = rng
+        self.pipeline = validate_pipeline(pipeline)
+        self._obs = obs
+        self._views = padded_views(dataset, max_length)
+        if pipeline == "vectorized":
+            # Private stream: the prefetcher's worker thread must never
+            # share a generator with the training thread (dropout).
+            self._rng = spawn_stream(rng)
+            if negative_sampler is not None:
+                negative_sampler._rng = self._rng
+        else:
+            self._rng = rng
         self._sampler = (
             negative_sampler
             if negative_sampler is not None
-            else NegativeSampler(dataset.num_items, rng)
+            else NegativeSampler(dataset.num_items, self._rng)
         )
         self._users = np.asarray(
             [
@@ -176,19 +215,23 @@ class NextItemBatchLoader:
         """One pass over all eligible users, shuffled."""
         order = self._rng.permutation(self._users)
         for start in range(0, len(order), self.batch_size):
-            yield self._build(order[start : start + self.batch_size])
+            built_at = time.perf_counter()
+            batch = self._build(order[start : start + self.batch_size])
+            if self._obs is not None:
+                self._obs.observe(
+                    "data.batch_build_seconds", time.perf_counter() - built_at
+                )
+            yield batch
 
     def _build(self, users: np.ndarray) -> NextItemBatch:
-        t = self.max_length
-        inputs = np.zeros((len(users), t), dtype=np.int64)
-        targets = np.zeros((len(users), t), dtype=np.int64)
-        for row, user in enumerate(users):
-            seq = self.dataset.train_sequences[user]
-            inputs[row] = pad_left(seq[:-1], t)
-            targets[row] = pad_left(seq[1:], t)
+        inputs = self._views.inputs[users]
+        targets = self._views.targets[users]
         mask = (targets > 0).astype(np.float64)
         negatives = self._sampler.sample(targets)
-        negatives[mask == 0.0] = 1  # placeholder at padded positions
+        # Padded positions carry the pad id (0), never a real item; the
+        # masked BCE guarantees they contribute nothing to the loss or
+        # gradients either way (asserted in tests/data/test_loaders.py).
+        negatives[mask == 0.0] = 0
         return NextItemBatch(users, inputs, targets, negatives, mask)
 
 
@@ -206,6 +249,18 @@ class ContrastiveBatchLoader:
 
     ``augmenter`` is any callable ``(sequence, rng) -> (view_a, view_b)``
     — typically :class:`repro.augment.compose.PairSampler`.
+
+    With ``pipeline="vectorized"`` the augmentation stage — the wall-
+    time sink of a contrastive epoch — runs in matrix form: a scalar
+    ``PairSampler`` is lifted to a
+    :class:`~repro.augment.batched.BatchPairSampler` (a prepared
+    ``BatchPairSampler`` is also accepted directly), views are produced
+    for all rows of a batch in a handful of numpy calls over the
+    dataset's precomputed padded matrix, and every random draw comes
+    from a private child stream so a background prefetcher can run the
+    epoch without racing the training thread.  Any other augmenter
+    callable falls back to per-row application but still benefits from
+    precomputed padding and prefetching.
     """
 
     def __init__(
@@ -216,12 +271,26 @@ class ContrastiveBatchLoader:
         batch_size: int,
         rng: np.random.Generator,
         min_sequence_length: int = 3,
+        pipeline: str = "reference",
+        obs=None,
     ) -> None:
         self.dataset = dataset
         self.augmenter = augmenter
         self.max_length = max_length
         self.batch_size = batch_size
-        self._rng = rng
+        self.pipeline = validate_pipeline(pipeline)
+        self._obs = obs
+        self._batched: BatchPairSampler | None = None
+        if pipeline == "vectorized":
+            self._rng = spawn_stream(rng)
+            self._views = padded_views(dataset, max_length)
+            if isinstance(augmenter, BatchPairSampler):
+                self._batched = augmenter
+            elif isinstance(augmenter, PairSampler):
+                self._batched = BatchPairSampler.from_scalar(augmenter)
+        else:
+            self._rng = rng
+            self._views = None
         self._users = np.asarray(
             [
                 u
@@ -244,14 +313,29 @@ class ContrastiveBatchLoader:
             users = order[start : start + self.batch_size]
             if len(users) < 2:
                 continue  # a contrastive batch needs at least one negative
-            yield self._build(users)
+            built_at = time.perf_counter()
+            batch = self._build(users)
+            if self._obs is not None:
+                self._obs.observe(
+                    "data.batch_build_seconds", time.perf_counter() - built_at
+                )
+            yield batch
 
     def _build(self, users: np.ndarray) -> ContrastiveBatch:
+        if self._batched is not None:
+            padded = self._views.sequences[users]
+            lengths = self._views.lengths[users]
+            (view_a, __), (view_b, __) = self._batched(padded, lengths, self._rng)
+            return ContrastiveBatch(users, view_a, view_b)
         t = self.max_length
         view_a = np.zeros((len(users), t), dtype=np.int64)
         view_b = np.zeros((len(users), t), dtype=np.int64)
-        for row, user in enumerate(users):
-            seq = self.dataset.train_sequences[user][-t:]
+        if self._views is not None:  # vectorized padding, scalar augmenter
+            padded, lengths = self._views.sequences[users], self._views.lengths[users]
+            rows = ((padded[i, t - lengths[i]:]) for i in range(len(users)))
+        else:
+            rows = (self.dataset.train_sequences[user][-t:] for user in users)
+        for row, seq in enumerate(rows):
             a, b = self.augmenter(seq, self._rng)
             view_a[row] = pad_left(a, t)
             view_b[row] = pad_left(b, t)

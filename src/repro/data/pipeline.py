@@ -1,0 +1,360 @@
+"""High-throughput batch construction (``pipeline="vectorized"``).
+
+Three ingredients turn the per-sequence Python loops of the reference
+loaders into a pipeline that keeps the optimizer fed:
+
+* :func:`padded_views` — each dataset's left-padded input/target/full
+  matrices are computed **once** (vectorized, no per-user loop) and
+  cached on the dataset object, invalidated automatically when the
+  dataset changes.  Batch construction then reduces to fancy indexing.
+* :class:`Prefetcher` — a double-buffered background thread (stdlib
+  ``threading``, bounded queue) that overlaps batch building with the
+  forward/backward pass.  Worker exceptions propagate to the consumer;
+  an early-exiting consumer (``close()``, ``with``-block, Ctrl-C)
+  shuts the worker down without deadlock.
+* :func:`batch_stream` / :class:`CyclingStream` — the adapters the
+  training loops use to switch between the reference path and the
+  prefetched vectorized path per
+  :class:`~repro.models.training.TrainConfig`-style ``pipeline``
+  switches.
+
+Determinism: the vectorized loaders draw from a dedicated child stream
+(:func:`repro.augment.batched.spawn_stream`) so the worker thread never
+races the model's own generator (dropout) — a fixed seed reproduces
+runs bit-for-bit, asserted end-to-end in
+``tests/integration/test_determinism_e2e.py``.  See
+``docs/PERFORMANCE.md`` for the architecture and measured speedups.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+#: Recognized values of the ``pipeline`` config switch.
+PIPELINES = ("reference", "vectorized")
+
+#: Attribute under which a dataset caches its padded views.
+_CACHE_ATTR = "_repro_padded_views"
+
+#: Queue capacity of the background prefetcher (double buffering).
+DEFAULT_PREFETCH_DEPTH = 2
+
+
+def validate_pipeline(pipeline: str) -> str:
+    """Return ``pipeline`` or raise on an unknown switch value."""
+    if pipeline not in PIPELINES:
+        raise ValueError(
+            f"pipeline must be one of {PIPELINES}, got {pipeline!r}"
+        )
+    return pipeline
+
+
+@dataclass(frozen=True)
+class PaddedViews:
+    """Precomputed left-padded matrices for one dataset at one ``T``.
+
+    Attributes
+    ----------
+    inputs / targets:
+        ``(U, T)`` supervised next-item matrices —
+        ``pad_left(seq[:-1], T)`` and ``pad_left(seq[1:], T)`` for
+        every user, exactly what the reference loop produced per batch.
+    sequences / lengths:
+        ``(U, T)`` full training sequences (last ``T`` items) and
+        their clamped lengths ``min(len(seq), T)`` — the substrate the
+        batched augmentations transform.
+    fingerprint:
+        Cheap dataset summary used to invalidate the cache when the
+        dataset's sequences change.
+    """
+
+    inputs: np.ndarray
+    targets: np.ndarray
+    sequences: np.ndarray
+    lengths: np.ndarray
+    fingerprint: tuple
+
+    @property
+    def max_length(self) -> int:
+        return self.inputs.shape[1]
+
+
+def _fingerprint(train_sequences: Sequence[np.ndarray], num_items: int) -> tuple:
+    total = int(sum(len(seq) for seq in train_sequences))
+    return (len(train_sequences), total, int(num_items))
+
+
+def _pad_rows(
+    flat: np.ndarray, starts: np.ndarray, counts: np.ndarray, max_length: int
+) -> np.ndarray:
+    """Left-pad ``flat[starts[r] : starts[r] + counts[r]]`` per row.
+
+    Pure fancy indexing — the whole ``(U, T)`` matrix is gathered in
+    one shot instead of U per-row ``pad_left`` calls.
+    """
+    rows = len(starts)
+    out = np.zeros((rows, max_length), dtype=np.int64)
+    if rows == 0 or flat.size == 0:
+        return out
+    offsets = np.arange(max_length)[None, :] - (max_length - counts)[:, None]
+    valid = offsets >= 0
+    source = starts[:, None] + np.where(valid, offsets, 0)
+    np.copyto(out, flat[np.clip(source, 0, flat.size - 1)], where=valid)
+    return out
+
+
+def build_padded_views(
+    train_sequences: Sequence[np.ndarray], max_length: int, num_items: int
+) -> PaddedViews:
+    """Compute :class:`PaddedViews` for a sequence list (no caching)."""
+    if max_length < 1:
+        raise ValueError(f"max_length must be positive, got {max_length}")
+    lengths_full = np.fromiter(
+        (len(seq) for seq in train_sequences),
+        dtype=np.int64,
+        count=len(train_sequences),
+    )
+    flat = (
+        np.concatenate([np.asarray(s, dtype=np.int64) for s in train_sequences])
+        if lengths_full.sum() > 0
+        else np.empty(0, dtype=np.int64)
+    )
+    ends = np.cumsum(lengths_full)
+
+    # Full sequences, keeping the most recent max_length items.
+    seq_counts = np.minimum(lengths_full, max_length)
+    sequences = _pad_rows(flat, ends - seq_counts, seq_counts, max_length)
+
+    # Supervised views: inputs = pad_left(seq[:-1], T) ends one item
+    # early; targets = pad_left(seq[1:], T) ends at the sequence end.
+    shifted_counts = np.minimum(np.maximum(lengths_full - 1, 0), max_length)
+    inputs = _pad_rows(flat, (ends - 1) - shifted_counts, shifted_counts, max_length)
+    targets = _pad_rows(flat, ends - shifted_counts, shifted_counts, max_length)
+
+    return PaddedViews(
+        inputs=inputs,
+        targets=targets,
+        sequences=sequences,
+        lengths=seq_counts,
+        fingerprint=_fingerprint(train_sequences, num_items),
+    )
+
+
+def padded_views(dataset, max_length: int) -> PaddedViews:
+    """The dataset's cached :class:`PaddedViews` at ``max_length``.
+
+    The first call per ``(dataset, max_length)`` builds the matrices;
+    subsequent calls are a dict lookup.  A cheap fingerprint (sequence
+    count, total interactions, vocabulary size) detects dataset
+    mutation and rebuilds stale entries.
+    """
+    fingerprint = _fingerprint(dataset.train_sequences, dataset.num_items)
+    cache: dict[int, PaddedViews] = dataset.__dict__.setdefault(_CACHE_ATTR, {})
+    views = cache.get(max_length)
+    if views is None or views.fingerprint != fingerprint:
+        views = build_padded_views(
+            dataset.train_sequences, max_length, dataset.num_items
+        )
+        cache[max_length] = views
+    return views
+
+
+class Prefetcher:
+    """Background double buffering over a batch iterator.
+
+    A single worker thread drains ``source`` into a bounded queue
+    (``depth`` slots — two by default, i.e. classic double buffering)
+    while the consumer iterates; batch construction overlaps the
+    forward/backward pass instead of serializing with it.
+
+    Guarantees:
+
+    * **Order** — batches arrive in exactly the order ``source``
+      yields them (single worker, FIFO queue), so a seeded run stays
+      deterministic.
+    * **Exception propagation** — an exception raised inside
+      ``source`` is re-raised in the consumer at the point of the next
+      ``next()`` call.
+    * **No deadlock on early exit** — ``close()`` (also via the
+      context-manager protocol, and hence on Ctrl-C out of a
+      ``with``-block) signals the worker, drains the queue and joins
+      the thread; a worker blocked on a full queue wakes up and exits.
+
+    Single consumer assumed; the worker thread is a daemon as a last
+    resort so an unclosed prefetcher can never hang interpreter exit.
+    """
+
+    def __init__(
+        self,
+        source: Iterable,
+        depth: int = DEFAULT_PREFETCH_DEPTH,
+        obs=None,
+        name: str = "repro-prefetch",
+    ) -> None:
+        if depth < 1:
+            raise ValueError(f"prefetch depth must be >= 1, got {depth}")
+        self._queue: queue.Queue = queue.Queue(maxsize=depth)
+        self._stop = threading.Event()
+        self._finished = False
+        self._obs = obs
+        self._thread = threading.Thread(
+            target=self._worker, args=(source,), name=name, daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def _put(self, item) -> bool:
+        """Enqueue, polling the stop flag; False when shut down."""
+        while not self._stop.is_set():
+            try:
+                self._queue.put(item, timeout=0.05)
+                return True
+            except queue.Full:
+                continue
+        return False
+
+    def _worker(self, source: Iterable) -> None:
+        try:
+            for item in source:
+                if not self._put(("batch", item)) or self._stop.is_set():
+                    return
+            self._put(("done", None))
+        except BaseException as exc:  # pragma: no branch - propagate anything
+            self._put(("error", exc))
+
+    # ------------------------------------------------------------------
+    # Consumer side
+    # ------------------------------------------------------------------
+    def __iter__(self) -> "Prefetcher":
+        return self
+
+    def __next__(self):
+        if self._finished:
+            raise StopIteration
+        kind, payload = self._queue.get()
+        if self._obs is not None:
+            self._obs.observe(
+                "data.prefetch_queue_depth", float(self._queue.qsize())
+            )
+        if kind == "batch":
+            return payload
+        self._finished = True
+        self._thread.join(timeout=5.0)
+        if kind == "error":
+            raise payload
+        raise StopIteration
+
+    def close(self) -> None:
+        """Stop the worker and release the queue (idempotent)."""
+        self._finished = True
+        self._stop.set()
+        try:
+            while True:
+                self._queue.get_nowait()
+        except queue.Empty:
+            pass
+        self._thread.join(timeout=5.0)
+
+    @property
+    def alive(self) -> bool:
+        """Whether the worker thread is still running (tests)."""
+        return self._thread.is_alive()
+
+    def __enter__(self) -> "Prefetcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+@contextmanager
+def batch_stream(source: Iterable, pipeline: str = "reference", obs=None,
+                 depth: int = DEFAULT_PREFETCH_DEPTH) -> Iterator[Iterable]:
+    """Yield ``source`` as-is (reference) or prefetched (vectorized).
+
+    The context-manager form guarantees the worker thread is torn down
+    even when the training loop exits early (divergence rollback,
+    ``TrainingInterrupted``, Ctrl-C)::
+
+        with batch_stream(loader.epoch(), config.pipeline, obs=obs) as batches:
+            for batch in batches:
+                ...
+    """
+    validate_pipeline(pipeline)
+    if pipeline != "vectorized":
+        yield source
+        return
+    prefetcher = Prefetcher(source, depth=depth, obs=obs)
+    try:
+        yield prefetcher
+    finally:
+        prefetcher.close()
+
+
+class CyclingStream:
+    """An endless batch stream cycling over ``loader.epoch()`` passes.
+
+    The joint training loop consumes one contrastive batch per
+    supervised batch; epochs of the two loaders need not line up, so
+    the contrastive side cycles — when one augmented pass is
+    exhausted, a fresh ``epoch()`` begins transparently.  Under the
+    vectorized pipeline each pass is wrapped in a :class:`Prefetcher`;
+    call :meth:`close` (or use ``with``) to tear the worker down.
+    """
+
+    def __init__(
+        self,
+        loader,
+        pipeline: str = "reference",
+        obs=None,
+        depth: int = DEFAULT_PREFETCH_DEPTH,
+    ) -> None:
+        self.loader = loader
+        self.pipeline = validate_pipeline(pipeline)
+        self._obs = obs
+        self._depth = depth
+        self._current = None
+
+    def _open(self) -> None:
+        source = self.loader.epoch()
+        if self.pipeline == "vectorized":
+            source = Prefetcher(source, depth=self._depth, obs=self._obs)
+        self._current = source
+
+    def next(self):
+        """The next batch, starting a fresh epoch when one runs dry."""
+        if self._current is None:
+            self._open()
+        try:
+            return next(self._current)
+        except StopIteration:
+            self._close_current()
+            self._open()
+            # A second StopIteration (loader yields no batches at all)
+            # is a real error and propagates.
+            return next(self._current)
+
+    def _close_current(self) -> None:
+        current, self._current = self._current, None
+        if current is None:
+            return
+        close = getattr(current, "close", None)
+        if close is not None:
+            close()
+
+    def close(self) -> None:
+        self._close_current()
+
+    def __enter__(self) -> "CyclingStream":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

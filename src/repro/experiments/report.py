@@ -30,6 +30,8 @@ SECTION_ORDER = (
     "extension_baselines",
     "serving_throughput",
     "obs_overhead",
+    "pipeline_throughput",
+    "pipeline_prefetch_overlap",
 )
 
 

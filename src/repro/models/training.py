@@ -23,6 +23,7 @@ from repro.data.loaders import (
     NextItemBatchLoader,
     PopularityNegativeSampler,
 )
+from repro.data.pipeline import batch_stream
 from repro.data.preprocessing import SequenceDataset
 from repro.eval.evaluator import Evaluator
 from repro.nn.optim import Adam, GradientClipper, LinearDecaySchedule
@@ -49,6 +50,10 @@ class TrainConfig:
     # Negative sampling: 0.0 = uniform (the paper's setting); > 0 draws
     # negatives ∝ popularity^alpha (harder contrasts).
     negative_alpha: float = 0.0
+    # Batch construction: "reference" (scalar, bit-compatible with the
+    # golden fixtures) or "vectorized" (precomputed padded matrices +
+    # background prefetch — see docs/PERFORMANCE.md).
+    pipeline: str = "reference"
     seed: int = 0
 
 
@@ -102,6 +107,8 @@ def train_next_item_model(
         config.batch_size,
         rng,
         negative_sampler=sampler,
+        pipeline=config.pipeline,
+        obs=obs,
     )
     optimizer = Adam(model.parameters(), lr=config.learning_rate)
     schedule = LinearDecaySchedule(
@@ -157,26 +164,29 @@ def train_next_item_model(
             epoch_loss = 0.0
             batches = 0
             grad_norm_sum, sequences = 0.0, 0
-            for batch in loader.epoch():
-                loss = model.sequence_loss(batch)
-                loss_value = loss.item()
-                optimizer.zero_grad()
-                loss.backward()
-                grad_norm = clipper.clip()
-                if runtime is not None:
-                    loss_value = runtime.intercept_loss(loss_value)
-                    if not runtime.allow_update(loss_value, grad_norm):
-                        optimizer.zero_grad()
+            with batch_stream(
+                loader.epoch(), config.pipeline, obs=obs
+            ) as epoch_batches:
+                for batch in epoch_batches:
+                    loss = model.sequence_loss(batch)
+                    loss_value = loss.item()
+                    optimizer.zero_grad()
+                    loss.backward()
+                    grad_norm = clipper.clip()
+                    if runtime is not None:
+                        loss_value = runtime.intercept_loss(loss_value)
+                        if not runtime.allow_update(loss_value, grad_norm):
+                            optimizer.zero_grad()
+                            runtime.after_step()
+                            continue
+                    optimizer.step()
+                    schedule.step()
+                    epoch_loss += loss_value
+                    grad_norm_sum += grad_norm
+                    sequences += len(batch.users)
+                    batches += 1
+                    if runtime is not None:
                         runtime.after_step()
-                        continue
-                optimizer.step()
-                schedule.step()
-                epoch_loss += loss_value
-                grad_norm_sum += grad_norm
-                sequences += len(batch.users)
-                batches += 1
-                if runtime is not None:
-                    runtime.after_step()
             history.losses.append(epoch_loss / max(1, batches))
             if obs is not None:
                 from repro.core.trainer import _emit_epoch

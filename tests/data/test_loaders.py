@@ -10,6 +10,7 @@ from repro.augment.crop import Crop
 from repro.data.loaders import (
     ContrastiveBatchLoader,
     NegativeSampler,
+    NextItemBatch,
     NextItemBatchLoader,
     batch_sequences,
     pad_left,
@@ -160,3 +161,79 @@ class TestBatchSequences:
         batch, mask = batch_sequences([np.array([1, 2]), np.array([3])], 4)
         np.testing.assert_array_equal(batch[0], [0, 0, 1, 2])
         np.testing.assert_array_equal(mask[1], [True, True, True, False])
+
+
+class TestPaddedPositionNegatives:
+    """The pad-id contract: negatives never carry real items at padding.
+
+    Historical bug: padded positions used to receive the fixed item id
+    1 instead of the pad id 0.  The masked BCE zeroes those positions
+    either way, so the fix is numerically invisible (asserted below) —
+    but batches are cleaner to inspect and no real item id leaks into
+    slots that represent "nothing".
+    """
+
+    @pytest.mark.parametrize("pipeline", ["reference", "vectorized"])
+    def test_negatives_are_pad_id_at_padded_positions(
+        self, tiny_dataset, pipeline
+    ):
+        loader = NextItemBatchLoader(
+            tiny_dataset,
+            max_length=12,
+            batch_size=32,
+            rng=np.random.default_rng(0),
+            pipeline=pipeline,
+        )
+        for batch in loader.epoch():
+            padded = batch.mask == 0.0
+            assert (batch.negatives[padded] == 0).all()
+            # Real positions still hold genuine sampled items.
+            assert (batch.negatives[~padded] > 0).all()
+
+    def test_padded_negatives_never_reach_the_loss(self, tiny_dataset):
+        # Replacing the padded-position negative ids with arbitrary
+        # real items must change neither the loss nor any gradient.
+        from repro.models.sasrec import SASRec, SASRecConfig
+        from repro.models.training import TrainConfig
+
+        model = SASRec(
+            tiny_dataset,
+            SASRecConfig(dim=16, train=TrainConfig(max_length=12)),
+        )
+        model.eval()  # no dropout draws: forwards are comparable
+        loader = NextItemBatchLoader(
+            tiny_dataset,
+            max_length=12,
+            batch_size=32,
+            rng=np.random.default_rng(0),
+        )
+        batch = next(iter(loader.epoch()))
+
+        def loss_and_grads(tampered_negatives):
+            for param in model.parameters():
+                param.grad = None
+            loss = model.sequence_loss(
+                NextItemBatch(
+                    batch.users,
+                    batch.inputs,
+                    batch.targets,
+                    tampered_negatives,
+                    batch.mask,
+                )
+            )
+            loss.backward()
+            return loss.item(), [
+                None if p.grad is None else p.grad.copy()
+                for p in model.parameters()
+            ]
+
+        tampered = batch.negatives.copy()
+        tampered[batch.mask == 0.0] = 7  # any real item id
+        base_loss, base_grads = loss_and_grads(batch.negatives)
+        tampered_loss, tampered_grads = loss_and_grads(tampered)
+        assert base_loss == tampered_loss
+        for left, right in zip(base_grads, tampered_grads):
+            if left is None:
+                assert right is None
+            else:
+                np.testing.assert_array_equal(left, right)

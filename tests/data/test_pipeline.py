@@ -1,0 +1,111 @@
+"""Precomputed padded views: equivalence with per-row pad_left."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.loaders import pad_left
+from repro.data.pipeline import (
+    PaddedViews,
+    build_padded_views,
+    padded_views,
+    validate_pipeline,
+)
+from tests.conftest import make_tiny_dataset
+
+ragged = st.lists(
+    st.lists(st.integers(1, 300), min_size=0, max_size=30).map(
+        lambda xs: np.asarray(xs, dtype=np.int64)
+    ),
+    min_size=0,
+    max_size=12,
+)
+
+
+def reference_views(train_sequences, max_length):
+    """The scalar construction the loaders used before vectorization."""
+    inputs = np.stack(
+        [pad_left(s[:-1], max_length) for s in train_sequences]
+    ) if train_sequences else np.zeros((0, max_length), dtype=np.int64)
+    targets = np.stack(
+        [pad_left(s[1:], max_length) for s in train_sequences]
+    ) if train_sequences else np.zeros((0, max_length), dtype=np.int64)
+    sequences = np.stack(
+        [pad_left(s, max_length) for s in train_sequences]
+    ) if train_sequences else np.zeros((0, max_length), dtype=np.int64)
+    lengths = np.array(
+        [min(len(s), max_length) for s in train_sequences], dtype=np.int64
+    )
+    return inputs, targets, sequences, lengths
+
+
+class TestBuildPaddedViews:
+    @settings(max_examples=60, deadline=None)
+    @given(train_sequences=ragged, max_length=st.integers(1, 16))
+    def test_matches_per_row_pad_left(self, train_sequences, max_length):
+        views = build_padded_views(train_sequences, max_length, num_items=300)
+        inputs, targets, sequences, lengths = reference_views(
+            train_sequences, max_length
+        )
+        np.testing.assert_array_equal(views.inputs, inputs)
+        np.testing.assert_array_equal(views.targets, targets)
+        np.testing.assert_array_equal(views.sequences, sequences)
+        np.testing.assert_array_equal(views.lengths, lengths)
+
+    def test_tiny_dataset_row_by_row(self):
+        dataset = make_tiny_dataset()
+        T = 10
+        views = build_padded_views(dataset.train_sequences, T, dataset.num_items)
+        for u, seq in enumerate(dataset.train_sequences):
+            np.testing.assert_array_equal(views.inputs[u], pad_left(seq[:-1], T))
+            np.testing.assert_array_equal(views.targets[u], pad_left(seq[1:], T))
+            np.testing.assert_array_equal(views.sequences[u], pad_left(seq, T))
+            assert views.lengths[u] == min(len(seq), T)
+
+    def test_rejects_nonpositive_max_length(self):
+        with pytest.raises(ValueError):
+            build_padded_views([], 0, num_items=5)
+
+    def test_input_target_shift_alignment(self):
+        # targets[t] is the item following inputs[t] — the next-item
+        # supervision the masked BCE trains on.
+        seq = np.arange(1, 8)
+        views = build_padded_views([seq], 10, num_items=10)
+        real = views.targets[0] > 0
+        np.testing.assert_array_equal(views.inputs[0][real], seq[:-1])
+        np.testing.assert_array_equal(views.targets[0][real], seq[1:])
+
+
+class TestPaddedViewsCache:
+    def test_second_call_is_a_cache_hit(self):
+        dataset = make_tiny_dataset()
+        first = padded_views(dataset, 12)
+        assert padded_views(dataset, 12) is first
+
+    def test_distinct_lengths_get_distinct_entries(self):
+        dataset = make_tiny_dataset()
+        assert padded_views(dataset, 8) is not padded_views(dataset, 12)
+        assert padded_views(dataset, 8).max_length == 8
+
+    def test_dataset_mutation_invalidates(self):
+        dataset = make_tiny_dataset()
+        stale = padded_views(dataset, 12)
+        dataset.train_sequences[0] = np.concatenate(
+            [dataset.train_sequences[0], [1, 2, 3]]
+        )
+        fresh = padded_views(dataset, 12)
+        assert fresh is not stale
+        np.testing.assert_array_equal(
+            fresh.sequences[0], pad_left(dataset.train_sequences[0], 12)
+        )
+
+
+class TestValidatePipeline:
+    def test_accepts_known_switches(self):
+        assert validate_pipeline("reference") == "reference"
+        assert validate_pipeline("vectorized") == "vectorized"
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError, match="pipeline"):
+            validate_pipeline("turbo")

@@ -1,0 +1,212 @@
+"""Prefetcher and stream adapters: order, errors, shutdown, determinism."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.augment import Crop, Mask, PairSampler, Reorder
+from repro.data.loaders import ContrastiveBatchLoader, NextItemBatchLoader
+from repro.data.pipeline import CyclingStream, Prefetcher, batch_stream
+from repro.obs import MetricsRegistry, RunObserver
+from tests.conftest import make_tiny_dataset
+
+
+def slow_range(n, delay=0.0, fail_at=None):
+    for i in range(n):
+        if fail_at is not None and i == fail_at:
+            raise RuntimeError(f"boom at {i}")
+        if delay:
+            time.sleep(delay)
+        yield i
+
+
+class TestPrefetcher:
+    def test_preserves_order(self):
+        with Prefetcher(slow_range(50)) as stream:
+            assert list(stream) == list(range(50))
+
+    def test_empty_source(self):
+        with Prefetcher(iter(())) as stream:
+            assert list(stream) == []
+
+    def test_worker_exception_propagates_to_consumer(self):
+        stream = Prefetcher(slow_range(10, fail_at=3))
+        got = []
+        with pytest.raises(RuntimeError, match="boom at 3"):
+            for item in stream:
+                got.append(item)
+        assert got == [0, 1, 2]
+        stream.close()
+        assert not stream.alive
+
+    def test_early_consumer_exit_shuts_worker_down(self):
+        # The worker blocks on the bounded queue once it runs ahead;
+        # close() must wake it and join without deadlock.
+        stream = Prefetcher(slow_range(10_000), depth=2)
+        assert next(stream) == 0
+        stream.close()
+        assert not stream.alive
+
+    def test_close_is_idempotent(self):
+        stream = Prefetcher(slow_range(5))
+        stream.close()
+        stream.close()
+        assert not stream.alive
+
+    def test_with_block_exit_closes(self):
+        with Prefetcher(slow_range(10_000)) as stream:
+            next(stream)
+        assert not stream.alive
+
+    def test_exhausted_stream_raises_stopiteration_thereafter(self):
+        stream = Prefetcher(slow_range(2))
+        assert list(stream) == [0, 1]
+        with pytest.raises(StopIteration):
+            next(stream)
+        assert not stream.alive
+
+    def test_overlaps_production_with_consumption(self):
+        # With depth 2 the worker should be able to run ahead while the
+        # consumer sits on a batch.
+        produced = []
+
+        def source():
+            for i in range(3):
+                produced.append(i)
+                yield i
+
+        stream = Prefetcher(source(), depth=2)
+        deadline = time.time() + 2.0
+        while len(produced) < 2 and time.time() < deadline:
+            time.sleep(0.01)
+        assert len(produced) >= 2  # ran ahead before any consumption
+        assert list(stream) == [0, 1, 2]
+
+    def test_records_queue_depth(self):
+        registry = MetricsRegistry()
+        obs = RunObserver(sink=None, registry=registry)
+        with Prefetcher(slow_range(8), obs=obs) as stream:
+            list(stream)
+        snapshot = registry.snapshot()
+        assert snapshot["histograms"]["data.prefetch_queue_depth"]["count"] >= 8
+
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ValueError):
+            Prefetcher(iter(()), depth=0)
+
+    def test_no_thread_leak(self):
+        before = threading.active_count()
+        for __ in range(5):
+            with Prefetcher(slow_range(100)) as stream:
+                next(stream)
+        assert threading.active_count() <= before + 1
+
+
+class TestBatchStream:
+    def test_reference_passes_source_through(self):
+        source = iter([1, 2, 3])
+        with batch_stream(source, "reference") as stream:
+            assert stream is source
+
+    def test_vectorized_wraps_in_prefetcher(self):
+        with batch_stream(iter([1, 2, 3]), "vectorized") as stream:
+            assert isinstance(stream, Prefetcher)
+            assert list(stream) == [1, 2, 3]
+        assert not stream.alive
+
+    def test_vectorized_closes_on_consumer_error(self):
+        with pytest.raises(KeyError):
+            with batch_stream(slow_range(10_000), "vectorized") as stream:
+                next(stream)
+                raise KeyError("consumer bailed")
+        assert not stream.alive
+
+    def test_unknown_pipeline_rejected(self):
+        with pytest.raises(ValueError):
+            with batch_stream(iter(()), "turbo"):
+                pass
+
+
+class TestCyclingStream:
+    def make_loader(self, pipeline="reference", seed=0):
+        dataset = make_tiny_dataset()
+        sampler = PairSampler(
+            [Crop(0.6), Mask(0.3, mask_token=dataset.num_items + 1), Reorder(0.5)]
+        )
+        return ContrastiveBatchLoader(
+            dataset,
+            sampler,
+            max_length=12,
+            batch_size=64,
+            rng=np.random.default_rng(seed),
+            pipeline=pipeline,
+        )
+
+    @pytest.mark.parametrize("pipeline", ["reference", "vectorized"])
+    def test_cycles_past_epoch_boundaries(self, pipeline):
+        loader = self.make_loader(pipeline)
+        pulls = 2 * loader.num_batches + 1  # forces at least one restart
+        with CyclingStream(loader, pipeline=pipeline) as stream:
+            batches = [stream.next() for __ in range(pulls)]
+        assert len(batches) == pulls
+        assert all(b.view_a.shape[1] == 12 for b in batches)
+
+    def test_vectorized_close_stops_worker(self):
+        stream = CyclingStream(self.make_loader("vectorized"), "vectorized")
+        stream.next()
+        inner = stream._current
+        stream.close()
+        assert not inner.alive
+
+
+class TestVectorizedDeterminism:
+    def test_same_seed_same_batch_stream(self):
+        def epoch_views(seed):
+            loader = ContrastiveBatchLoader(
+                make_tiny_dataset(),
+                PairSampler([Crop(0.6), Mask(0.3, mask_token=81), Reorder(0.5)]),
+                max_length=12,
+                batch_size=32,
+                rng=np.random.default_rng(seed),
+                pipeline="vectorized",
+            )
+            with batch_stream(loader.epoch(), "vectorized") as stream:
+                return [(b.users, b.view_a, b.view_b) for b in stream]
+
+        first, second = epoch_views(7), epoch_views(7)
+        assert len(first) == len(second) > 0
+        for a, b in zip(first, second):
+            for left, right in zip(a, b):
+                np.testing.assert_array_equal(left, right)
+        shifted = epoch_views(8)
+        assert any(
+            not np.array_equal(a[1], b[1]) for a, b in zip(first, shifted)
+        )
+
+    def test_next_item_loader_vectorized_matches_reference(self):
+        # Padding carries no randomness, so both pipelines hand every
+        # user bit-identical inputs/targets/mask; only the shuffle
+        # order and negative draws move to the child stream.
+        def per_user(pipeline):
+            loader = NextItemBatchLoader(
+                make_tiny_dataset(),
+                max_length=12,
+                batch_size=32,
+                rng=np.random.default_rng(3),
+                pipeline=pipeline,
+            )
+            rows = {}
+            for batch in loader.epoch():
+                for i, user in enumerate(batch.users):
+                    rows[int(user)] = (
+                        batch.inputs[i], batch.targets[i], batch.mask[i]
+                    )
+            return rows
+
+        ref, vec = per_user("reference"), per_user("vectorized")
+        assert ref.keys() == vec.keys()
+        for user in ref:
+            for left, right in zip(ref[user], vec[user]):
+                np.testing.assert_array_equal(left, right)

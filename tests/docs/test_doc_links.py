@@ -1,0 +1,84 @@
+"""Documentation link check: every cross-reference must resolve.
+
+Two kinds of references are verified across ``README.md`` and
+``docs/*.md``:
+
+* markdown links ``[text](target)`` whose target is a relative path
+  (external URLs and pure ``#anchors`` are skipped);
+* backticked path tokens like ```docs/PERFORMANCE.md``` or
+  ```benchmarks/test_pipeline_throughput.py`` — checked whenever they
+  name a markdown file, or a python/source path containing a ``/``
+  (bare module names and glob patterns are skipped).
+
+Targets resolve relative to the containing file's directory first,
+then the repository root — so both ``[SERVING.md](SERVING.md)`` inside
+``docs/`` and ``docs/SERVING.md`` spelled from the repo root work.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+DOC_FILES = sorted(
+    [REPO_ROOT / "README.md"] + list((REPO_ROOT / "docs").glob("*.md"))
+)
+
+MARKDOWN_LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+BACKTICK_TOKEN = re.compile(r"`([^`\s]+)`")
+
+
+def resolves(target: str, containing_file: Path) -> bool:
+    path = target.split("#", 1)[0]
+    if not path:
+        return True  # pure anchor
+    return (containing_file.parent / path).exists() or (
+        REPO_ROOT / path
+    ).exists()
+
+
+def checkable_token(token: str) -> bool:
+    """Whether a backticked token is a path this test should verify."""
+    if "*" in token or "{" in token or "<" in token:
+        return False  # glob / placeholder, not a concrete path
+    if token.endswith(".md"):
+        return True
+    if token.endswith(".py") and "/" in token:
+        return True
+    return False
+
+
+@pytest.mark.parametrize(
+    "doc", DOC_FILES, ids=[str(p.relative_to(REPO_ROOT)) for p in DOC_FILES]
+)
+def test_all_references_resolve(doc):
+    text = doc.read_text()
+    broken = []
+    for match in MARKDOWN_LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if not resolves(target, doc):
+            broken.append(f"markdown link -> {target}")
+    for match in BACKTICK_TOKEN.finditer(text):
+        token = match.group(1)
+        if checkable_token(token) and not resolves(token, doc):
+            broken.append(f"backticked path -> {token}")
+    assert not broken, (
+        f"{doc.relative_to(REPO_ROOT)} has dangling references:\n  "
+        + "\n  ".join(broken)
+    )
+
+
+def test_new_docs_are_linked_from_readme():
+    readme = (REPO_ROOT / "README.md").read_text()
+    assert "docs/PERFORMANCE.md" in readme
+    assert "docs/ARCHITECTURE.md" in readme
+
+
+def test_performance_doc_is_cross_linked():
+    for name in ("OBSERVABILITY.md", "ROBUSTNESS.md"):
+        text = (REPO_ROOT / "docs" / name).read_text()
+        assert "PERFORMANCE.md" in text, f"docs/{name} should link PERFORMANCE.md"

@@ -33,7 +33,7 @@ DETERMINISTIC_FIELDS = {
 }
 
 
-def run_pipeline(tmp_path, label: str, seed: int):
+def run_pipeline(tmp_path, label: str, seed: int, pipeline: str = "reference"):
     """One full train→eval run; returns (metric rows, top-k lists)."""
     dataset = make_tiny_dataset()
     model = CL4SRec(
@@ -46,7 +46,13 @@ def run_pipeline(tmp_path, label: str, seed: int):
             augmentations=("crop", "mask", "reorder"),
             rates=0.5,
             mode="joint",
-            joint=JointTrainConfig(epochs=2, batch_size=32, max_length=12, seed=seed),
+            joint=JointTrainConfig(
+                epochs=2,
+                batch_size=32,
+                max_length=12,
+                seed=seed,
+                pipeline=pipeline,
+            ),
         ),
     )
     run_dir = tmp_path / label
@@ -73,10 +79,16 @@ def run_pipeline(tmp_path, label: str, seed: int):
 
 @pytest.mark.slow
 class TestDeterminismEndToEnd:
-    def test_same_seed_bit_identical_different_seed_diverges(self, tmp_path):
-        rows_a, topk_a = run_pipeline(tmp_path, "run_a", seed=0)
-        rows_b, topk_b = run_pipeline(tmp_path, "run_b", seed=0)
-        rows_c, topk_c = run_pipeline(tmp_path, "run_c", seed=1)
+    @pytest.mark.parametrize("pipeline", ["reference", "vectorized"])
+    def test_same_seed_bit_identical_different_seed_diverges(
+        self, tmp_path, pipeline
+    ):
+        # The vectorized path prefetches batches from a worker thread;
+        # determinism must survive the concurrency (private child rng
+        # streams, FIFO hand-off), not just the numerics.
+        rows_a, topk_a = run_pipeline(tmp_path, "run_a", seed=0, pipeline=pipeline)
+        rows_b, topk_b = run_pipeline(tmp_path, "run_b", seed=0, pipeline=pipeline)
+        rows_c, topk_c = run_pipeline(tmp_path, "run_c", seed=1, pipeline=pipeline)
 
         # Same seed: every deterministic metric value is bit-identical …
         assert rows_a == rows_b

@@ -230,6 +230,23 @@ class TestObservabilityCli:
         )
         assert args.obs_dir == "runs/exp1" and args.profile
 
+    def test_train_pipeline_flag_parsed(self):
+        assert build_parser().parse_args(["train"]).pipeline == "reference"
+        args = build_parser().parse_args(["train", "--pipeline", "vectorized"])
+        assert args.pipeline == "vectorized"
+
+    def test_train_pipeline_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--pipeline", "turbo"])
+
+    def test_train_help_documents_pipeline(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--help"])
+        help_text = capsys.readouterr().out
+        assert "--pipeline" in help_text
+        assert "vectorized" in help_text
+        assert "docs/PERFORMANCE.md" in help_text
+
     def test_stats_missing_run_dir_fails(self, capsys, tmp_path):
         assert main(["stats", str(tmp_path / "nope")]) == 2
         assert "obs.jsonl" in capsys.readouterr().err
