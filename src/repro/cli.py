@@ -101,6 +101,14 @@ def _add_serving_arguments(parser: argparse.ArgumentParser) -> None:
         "--max-batch-size", dest="max_batch_size", type=int, default=256
     )
     parser.add_argument("--cache-size", dest="cache_size", type=int, default=4096)
+    parser.add_argument(
+        "--dtype",
+        choices=["float32", "float64"],
+        default=None,
+        help="serving precision; default: adopt the checkpoint's dtype "
+        "(float32 roughly doubles scoring throughput, see "
+        "docs/PERFORMANCE.md)",
+    )
 
 
 def _build_engine(args: argparse.Namespace):
@@ -116,6 +124,7 @@ def _build_engine(args: argparse.Namespace):
         args.checkpoint,
         model,
         dataset,
+        dtype=args.dtype,
         max_batch_size=args.max_batch_size,
         cache_size=args.cache_size,
     )
@@ -317,6 +326,14 @@ def build_parser() -> argparse.ArgumentParser:
         "with the golden fixtures) or 'vectorized' (matrix-form augmentation "
         "+ background prefetch; see docs/PERFORMANCE.md)",
     )
+    p_tr.add_argument(
+        "--dtype",
+        choices=["float32", "float64"],
+        default=None,
+        help="compute precision: float64 (default, bit-compatible with the "
+        "golden fixtures) or float32 (roughly 2x BLAS throughput; see "
+        "docs/PERFORMANCE.md)",
+    )
     _add_scale_arguments(p_tr)
 
     p_st = sub.add_parser(
@@ -404,6 +421,10 @@ def _run_train(args: argparse.Namespace) -> int:
     model.cl_config.joint.pipeline = args.pipeline
     model.cl_config.pretrain.pipeline = args.pipeline
     model.cl_config.sasrec.train.pipeline = args.pipeline
+    # Same for the compute precision (None keeps the float64 default).
+    model.cl_config.joint.dtype = args.dtype
+    model.cl_config.pretrain.dtype = args.dtype
+    model.cl_config.sasrec.train.dtype = args.dtype
     faults = None
     if args.preempt_at is not None:
         faults = FaultInjector().preempt(at=args.preempt_at)
@@ -419,6 +440,7 @@ def _run_train(args: argparse.Namespace) -> int:
                 "dataset": args.dataset,
                 "mode": args.mode,
                 "pipeline": args.pipeline,
+                "dtype": args.dtype or "float64",
                 "preset": args.preset,
                 "seed": scale.seed,
             },

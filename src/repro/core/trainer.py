@@ -27,6 +27,7 @@ import numpy as np
 from repro.data.loaders import ContrastiveBatchLoader, NextItemBatchLoader
 from repro.data.pipeline import CyclingStream, batch_stream
 from repro.data.preprocessing import SequenceDataset
+from repro.nn import precision
 from repro.nn.optim import Adam, GradientClipper, LinearDecaySchedule
 
 
@@ -45,6 +46,9 @@ class ContrastivePretrainConfig:
     # golden fixtures) or "vectorized" (matrix-form augmentation +
     # background prefetch — see docs/PERFORMANCE.md).
     pipeline: str = "reference"
+    # Compute precision: None keeps the process default (float64);
+    # "float32" for throughput — see docs/PERFORMANCE.md.
+    dtype: str | None = None
     seed: int = 0
 
 
@@ -62,6 +66,8 @@ class JointTrainConfig:
     clip_norm: float = 5.0
     # Batch construction path; see ContrastivePretrainConfig.pipeline.
     pipeline: str = "reference"
+    # Compute precision; see ContrastivePretrainConfig.dtype.
+    dtype: str | None = None
     seed: int = 0
 
 
@@ -157,6 +163,10 @@ def pretrain_contrastive(
         pipeline=config.pipeline,
         obs=obs,
     )
+    # Cast before the optimizer is created so Adam's moment buffers
+    # inherit the training dtype.
+    dtype = precision.resolve_dtype(config.dtype)
+    model.to_dtype(dtype)
     params = list(model.contrastive_parameters())
     optimizer = Adam(params, lr=config.learning_rate)
     schedule = LinearDecaySchedule(
@@ -178,7 +188,9 @@ def pretrain_contrastive(
         )
 
     model.train()
-    with runtime.session() if runtime is not None else nullcontext():
+    with precision.precision(dtype), (
+        runtime.session() if runtime is not None else nullcontext()
+    ):
         for epoch in range(start_epoch, config.epochs):
             if runtime is not None:
                 runtime.begin_epoch(epoch)
@@ -269,6 +281,8 @@ def train_joint(
         pipeline=config.pipeline,
         obs=obs,
     )
+    dtype = precision.resolve_dtype(config.dtype)
+    model.to_dtype(dtype)
     params = list(model.contrastive_parameters())
     optimizer = Adam(params, lr=config.learning_rate)
     schedule = LinearDecaySchedule(
@@ -290,7 +304,9 @@ def train_joint(
         )
 
     model.train()
-    with runtime.session() if runtime is not None else nullcontext():
+    with precision.precision(dtype), (
+        runtime.session() if runtime is not None else nullcontext()
+    ):
         for epoch in range(start_epoch, config.epochs):
             if runtime is not None:
                 runtime.begin_epoch(epoch)

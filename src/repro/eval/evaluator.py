@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.data.preprocessing import SequenceDataset
 from repro.eval.metrics import DEFAULT_KS, rank_of_target, ranking_metrics
+from repro.nn.tensor import no_grad
 
 _NEG_INF = -np.inf
 
@@ -31,15 +32,19 @@ def candidate_scores(
     Dispatches to the candidate-scoring entry point
     (``score_items(dataset, users, items=None, split=...)``) and falls
     back to the legacy full-matrix ``score_users`` for duck-typed
-    scorers that predate the redesign.
+    scorers that predate the redesign.  Scoring always runs under
+    ``no_grad()`` — every in-repo scorer already disables the graph
+    itself, but duck-typed scorers get the same guarantee here so an
+    evaluation pass can never retain autograd state.
     """
-    scorer = getattr(model, "score_items", None)
-    if scorer is not None:
-        return np.asarray(scorer(dataset, users, items=items, split=split))
-    full = np.asarray(model.score_users(dataset, users, split=split))
-    if items is None:
-        return full
-    return full[:, np.asarray(items, dtype=np.int64)]
+    with no_grad():
+        scorer = getattr(model, "score_items", None)
+        if scorer is not None:
+            return np.asarray(scorer(dataset, users, items=items, split=split))
+        full = np.asarray(model.score_users(dataset, users, split=split))
+        if items is None:
+            return full
+        return full[:, np.asarray(items, dtype=np.int64)]
 
 
 @dataclass

@@ -32,6 +32,7 @@ SECTION_ORDER = (
     "obs_overhead",
     "pipeline_throughput",
     "pipeline_prefetch_overlap",
+    "compute_core",
 )
 
 

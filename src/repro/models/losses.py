@@ -24,7 +24,9 @@ def masked_next_item_bce(
     ``mask`` is 1.0 where a real prediction exists and 0.0 at padding
     positions; the loss is normalized by the number of real positions.
     """
-    mask_arr = np.asarray(mask, dtype=np.float64)
+    # The mask adopts the logits' dtype so a float32 forward stays
+    # float32 through the loss (a float64 mask would upcast the product).
+    mask_arr = np.asarray(mask, dtype=pos_logits.data.dtype)
     total = float(mask_arr.sum())
     if total == 0:
         raise ValueError("loss mask is all zeros — no real positions in batch")

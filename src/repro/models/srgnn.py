@@ -162,11 +162,12 @@ class SRGNN(Module, Recommender):
         batch, n = nodes.shape
         d = self.config.dim
         hidden = self.item_embedding(nodes)  # (B, N, d)
-        real = (nodes > 0).astype(np.float64)[:, :, None]  # node mask
+        dtype = hidden.data.dtype  # masks/adjacency follow the model precision
+        real = (nodes > 0).astype(dtype)[:, :, None]  # node mask
 
         for __ in range(self.config.propagation_steps):
-            inbound = Tensor(a_in).matmul(self.in_proj(hidden))
-            outbound = Tensor(a_out).matmul(self.out_proj(hidden))
+            inbound = Tensor(a_in.astype(dtype)).matmul(self.in_proj(hidden))
+            outbound = Tensor(a_out.astype(dtype)).matmul(self.out_proj(hidden))
             message = concat([inbound, outbound], axis=-1)  # (B, N, 2d)
             gates_x = self.gate_input(message)
             gates_h = self.gate_hidden(hidden)

@@ -26,6 +26,7 @@ from repro.data.loaders import (
 from repro.data.pipeline import batch_stream
 from repro.data.preprocessing import SequenceDataset
 from repro.eval.evaluator import Evaluator
+from repro.nn import precision
 from repro.nn.optim import Adam, GradientClipper, LinearDecaySchedule
 
 
@@ -54,6 +55,11 @@ class TrainConfig:
     # golden fixtures) or "vectorized" (precomputed padded matrices +
     # background prefetch — see docs/PERFORMANCE.md).
     pipeline: str = "reference"
+    # Compute precision: None keeps the process default (float64, the
+    # golden-fixture setting); "float32" roughly doubles BLAS
+    # throughput at ~1e-3 relative loss accuracy — see
+    # docs/PERFORMANCE.md ("Compute core") for when it is safe.
+    dtype: str | None = None
     seed: int = 0
 
 
@@ -110,6 +116,10 @@ def train_next_item_model(
         pipeline=config.pipeline,
         obs=obs,
     )
+    # Cast before the optimizer is created so Adam's zeros_like moment
+    # buffers inherit the training dtype.
+    dtype = precision.resolve_dtype(config.dtype)
+    model.to_dtype(dtype)
     optimizer = Adam(model.parameters(), lr=config.learning_rate)
     schedule = LinearDecaySchedule(
         optimizer,
@@ -156,7 +166,9 @@ def train_next_item_model(
     best_state: dict | None = aux.get("best") or None
 
     model.train()
-    with runtime.session() if runtime is not None else nullcontext():
+    with precision.precision(dtype), (
+        runtime.session() if runtime is not None else nullcontext()
+    ):
         for epoch in range(start_epoch, config.epochs):
             if runtime is not None:
                 runtime.begin_epoch(epoch)

@@ -19,12 +19,16 @@ TensorFlow, so we implement the pieces the paper relies on ourselves:
 * :mod:`repro.nn.init` — weight initializers, including the truncated
   normal initialization the paper prescribes.
 * :mod:`repro.nn.serialization` — ``.npz`` state-dict persistence.
+* :mod:`repro.nn.precision` / :mod:`repro.nn.compute` — the compute
+  core's dtype policy (float64 default, float32 opt-in) and fast-path
+  machinery (fused-kernel switch, shape-keyed mask cache, scratch
+  buffers).
 
 Every differentiable primitive is validated against finite differences
 in the test suite.
 """
 
-from repro.nn import functional, init
+from repro.nn import compute, functional, init, precision
 from repro.nn.attention import MultiHeadSelfAttention
 from repro.nn.checkpoint import load_checkpoint, save_checkpoint
 from repro.nn.layers import Dropout, Embedding, LayerNorm, Linear, Sequential
@@ -73,12 +77,14 @@ __all__ = [
     "WarmupLinearSchedule",
     "TransformerEncoder",
     "TransformerEncoderLayer",
+    "compute",
     "concat",
     "functional",
     "init",
     "load_checkpoint",
     "load_state_dict",
     "no_grad",
+    "precision",
     "save_checkpoint",
     "save_state_dict",
     "stack",

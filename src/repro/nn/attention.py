@@ -3,25 +3,105 @@
 Supports the causal mask the paper applies so that the representation
 at step *t* only depends on items at steps ≤ *t*, plus a key-padding
 mask so left-padded batch positions contribute nothing.
+
+Compute-core fast path
+----------------------
+The layer carries one packed ``(d, 3d)`` QKV projection instead of
+three ``(d, d)`` linears (one BLAS call; the init draws the three
+Xavier blocks from the shared generator in the legacy q, k, v order, so
+seeded models are unchanged).  The fused forward folds score scaling,
+mask fill, and softmax into :func:`repro.nn.functional.masked_softmax`,
+pulls its masks from the shape-keyed cache in
+:mod:`repro.nn.compute`, and — in no-grad paths with dropout inactive —
+runs entirely on raw numpy with reusable scratch buffers for the
+``(B, h, T, T)`` scores.  ``repro.nn.compute.use_fused(False)``
+restores the seed's op-for-op composition (three sliced projections,
+per-call mask allocation, ``masked_fill`` + ``softmax``); both paths
+perform the same floating-point operations per value, so they agree to
+the last bit given the same parameters.
+
+Legacy checkpoints that stored ``query_proj`` / ``key_proj`` /
+``value_proj`` separately load transparently: a state-dict upgrade hook
+(:func:`pack_qkv_state`) packs them on the fly, and
+:func:`unpack_qkv_state` converts back for export.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.nn import compute, init
 from repro.nn import functional as F
 from repro.nn.layers import Dropout, Linear
-from repro.nn.module import Module
-from repro.nn.tensor import Tensor
+from repro.nn.module import Module, register_state_dict_upgrade
+from repro.nn.tensor import Tensor, is_grad_enabled
 from repro.obs.profiling import profile_scope
 
 _NEG_INF = -1e9
+_LEGACY_QKV = ("query_proj", "key_proj", "value_proj")
 
 
 def causal_mask(length: int) -> np.ndarray:
     """Boolean ``(length, length)`` mask; ``True`` marks disallowed
-    (future) connections, i.e. key position > query position."""
+    (future) connections, i.e. key position > query position.
+
+    Allocates a fresh (writable) array; the hot path uses the shared
+    cache in :data:`repro.nn.compute.MASKS` instead.
+    """
     return np.triu(np.ones((length, length), dtype=bool), k=1)
+
+
+def pack_qkv_state(module: Module, state: dict) -> dict:
+    """State-dict upgrade: pack legacy per-projection Q/K/V entries.
+
+    For every ``qkv_proj.weight`` the module expects but the state dict
+    lacks, look for the legacy ``{prefix}query_proj`` / ``key_proj`` /
+    ``value_proj`` entries and concatenate them (weights along the
+    output axis, biases end to end).  Registered with
+    :func:`repro.nn.module.register_state_dict_upgrade`, so old
+    checkpoints load without callers doing anything.
+    """
+    targets = [
+        name
+        for name, __ in module.named_parameters()
+        if name.endswith("qkv_proj.weight") and name not in state
+    ]
+    if not targets:
+        return state
+    state = dict(state)
+    for target in targets:
+        prefix = target[: -len("qkv_proj.weight")]
+        weights = [f"{prefix}{p}.weight" for p in _LEGACY_QKV]
+        biases = [f"{prefix}{p}.bias" for p in _LEGACY_QKV]
+        if not all(key in state for key in weights + biases):
+            continue
+        state[target] = np.concatenate([state.pop(key) for key in weights], axis=1)
+        state[f"{prefix}qkv_proj.bias"] = np.concatenate(
+            [state.pop(key) for key in biases], axis=0
+        )
+    return state
+
+
+def unpack_qkv_state(state: dict) -> dict:
+    """Rewrite packed ``qkv_proj`` entries into the legacy layout.
+
+    The inverse of :func:`pack_qkv_state`, for exporting a checkpoint
+    that older revisions (separate ``query_proj``/``key_proj``/
+    ``value_proj`` linears) can load.
+    """
+    state = dict(state)
+    for key in [k for k in state if k.endswith("qkv_proj.weight")]:
+        prefix = key[: -len("qkv_proj.weight")]
+        weight = state.pop(key)
+        bias = state.pop(f"{prefix}qkv_proj.bias")
+        for i, proj in enumerate(_LEGACY_QKV):
+            dim = weight.shape[0]
+            state[f"{prefix}{proj}.weight"] = weight[:, i * dim : (i + 1) * dim].copy()
+            state[f"{prefix}{proj}.bias"] = bias[i * dim : (i + 1) * dim].copy()
+    return state
+
+
+register_state_dict_upgrade(pack_qkv_state)
 
 
 class MultiHeadSelfAttention(Module):
@@ -53,9 +133,15 @@ class MultiHeadSelfAttention(Module):
         self.dim = dim
         self.num_heads = num_heads
         self.head_dim = dim // num_heads
-        self.query_proj = Linear(dim, dim, rng=rng)
-        self.key_proj = Linear(dim, dim, rng=rng)
-        self.value_proj = Linear(dim, dim, rng=rng)
+        # One packed (d, 3d) projection.  The throwaway generator below
+        # never reaches the weights: the real init must draw three
+        # (d, d) Xavier blocks from the shared `rng` in the legacy
+        # q, k, v order so seeded parameters match the unpacked layout
+        # column for column (and out_proj sees the same stream state).
+        self.qkv_proj = Linear(dim, 3 * dim, rng=np.random.default_rng(0))
+        self.qkv_proj.weight.data = np.concatenate(
+            [init.xavier_uniform((dim, dim), rng) for __ in range(3)], axis=1
+        )
         self.out_proj = Linear(dim, dim, rng=rng)
         self.attn_dropout = Dropout(dropout, rng=rng)
 
@@ -84,7 +170,25 @@ class MultiHeadSelfAttention(Module):
             array (pre-dropout; for analysis, not for training).
         """
         with profile_scope("nn.attention"):
-            return self._attend(x, causal, key_padding_mask, return_probs)
+            if compute.fused_enabled():
+                return self._attend(x, causal, key_padding_mask, return_probs)
+            return self._attend_reference(x, causal, key_padding_mask, return_probs)
+
+    # ------------------------------------------------------------------
+    # Fused path
+    # ------------------------------------------------------------------
+    def _mask(
+        self, batch: int, length: int, causal: bool, key_padding_mask
+    ) -> np.ndarray | None:
+        """The combined attention mask, from the shape-keyed cache.
+
+        Without a padding mask there is nothing batch-specific: the
+        cached ``(T, T)`` causal triangle broadcasts directly (no
+        ``(B, 1, T, T)`` materialization), or no mask at all.
+        """
+        if key_padding_mask is None:
+            return compute.MASKS.causal(length) if causal else None
+        return compute.MASKS.combined(causal, key_padding_mask, length)
 
     def _attend(
         self,
@@ -94,11 +198,104 @@ class MultiHeadSelfAttention(Module):
         return_probs: bool,
     ):
         batch, length, __ = x.shape
-        q = self._split_heads(self.query_proj(x), batch, length)
-        k = self._split_heads(self.key_proj(x), batch, length)
-        v = self._split_heads(self.value_proj(x), batch, length)
+        # Python float, not np.float64: a numpy scalar is "strong" under
+        # NEP 50 and would upcast float32 activations to float64.
+        scale = 1.0 / float(np.sqrt(self.head_dim))
+        mask = self._mask(batch, length, causal, key_padding_mask)
 
-        scale = 1.0 / np.sqrt(self.head_dim)
+        dropout_active = self.training and self.attn_dropout.rate > 0.0
+        if not is_grad_enabled() and not return_probs and not dropout_active:
+            return self._attend_inference(x, mask, scale, batch, length)
+
+        qkv = F.linear(x, self.qkv_proj.weight, self.qkv_proj.bias)
+        if not return_probs:
+            # Single-node attention core: identical arithmetic to the
+            # composition below, one backward, no scatter buffers.
+            drop = None
+            if dropout_active:
+                drop = F.dropout_mask(
+                    (batch, self.num_heads, length, length),
+                    self.attn_dropout.rate,
+                    self.attn_dropout._rng,
+                    dtype=x.data.dtype,
+                )
+            context = F.fused_attention(
+                qkv, mask, self.num_heads, scale, fill=_NEG_INF, dropout_mask=drop
+            )
+            return self.out_proj(context)
+
+        q, k, v = F.split_qkv_heads(qkv, self.num_heads)
+        scores = q.matmul(k.swapaxes(-1, -2))  # (B, h, T, T)
+        probs = F.masked_softmax(scores, mask, axis=-1, scale=scale, fill=_NEG_INF)
+        raw_probs = probs.data.copy()
+        probs = self.attn_dropout(probs)
+        context = probs.matmul(v)  # (B, h, T, dh)
+        context = context.transpose(0, 2, 1, 3).reshape(batch, length, self.dim)
+        out = self.out_proj(context)
+        return out, raw_probs
+
+    def _attend_inference(
+        self,
+        x: Tensor,
+        mask: np.ndarray | None,
+        scale: float,
+        batch: int,
+        length: int,
+    ) -> Tensor:
+        """No-grad forward on raw numpy with pooled scratch buffers.
+
+        Same floating-point operations as the fused Tensor path — the
+        softmax runs in place on the pooled scores buffer, which no
+        graph node retains (callers are inside ``no_grad()``).
+        """
+        dtype = x.data.dtype
+        qkv = np.matmul(x.data, self.qkv_proj.weight.data) + self.qkv_proj.bias.data
+        parts = qkv.reshape(batch, length, 3, self.num_heads, self.head_dim)
+        q = np.ascontiguousarray(parts[:, :, 0].transpose(0, 2, 1, 3))
+        k = parts[:, :, 1].transpose(0, 2, 1, 3)
+        v = parts[:, :, 2].transpose(0, 2, 1, 3)
+
+        scores = compute.SCRATCH.get(
+            "attn.scores", (batch, self.num_heads, length, length), dtype
+        )
+        np.matmul(q, k.swapaxes(-1, -2), out=scores)
+        scores *= scale
+        if mask is not None:
+            np.copyto(scores, _NEG_INF, where=mask)
+        scores -= scores.max(axis=-1, keepdims=True)
+        np.exp(scores, out=scores)
+        scores /= scores.sum(axis=-1, keepdims=True)
+
+        context = np.matmul(scores, v)  # (B, h, T, dh)
+        context = np.ascontiguousarray(context.transpose(0, 2, 1, 3)).reshape(
+            batch, length, self.dim
+        )
+        out = np.matmul(context, self.out_proj.weight.data) + self.out_proj.bias.data
+        return Tensor(out)
+
+    # ------------------------------------------------------------------
+    # Reference (unfused) path — the seed's op-for-op composition
+    # ------------------------------------------------------------------
+    def _attend_reference(
+        self,
+        x: Tensor,
+        causal: bool,
+        key_padding_mask: np.ndarray | None,
+        return_probs: bool,
+    ):
+        batch, length, __ = x.shape
+        weight, bias, d = self.qkv_proj.weight, self.qkv_proj.bias, self.dim
+        q = self._split_heads(
+            x.matmul(weight[:, :d]) + bias[:d], batch, length
+        )
+        k = self._split_heads(
+            x.matmul(weight[:, d : 2 * d]) + bias[d : 2 * d], batch, length
+        )
+        v = self._split_heads(
+            x.matmul(weight[:, 2 * d :]) + bias[2 * d :], batch, length
+        )
+
+        scale = 1.0 / float(np.sqrt(self.head_dim))
         scores = q.matmul(k.swapaxes(-1, -2)) * scale  # (B, h, T, T)
 
         mask = np.zeros((batch, 1, length, length), dtype=bool)

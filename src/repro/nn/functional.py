@@ -3,6 +3,16 @@
 Numerically sensitive composites (softmax, log-softmax, layer norm) are
 implemented as fused primitives with analytic backward rules; the rest
 compose the :class:`repro.nn.tensor.Tensor` primitives.
+
+The compute-core fast path adds three more fused kernels —
+:func:`linear` (matmul + bias in one graph node), :func:`masked_softmax`
+(scale + mask-fill + softmax folded into one pass with an analytic
+backward), and :func:`fused_linear_act` (linear + ReLU/GELU for the
+transformer FFN) — plus :func:`split_qkv_heads`, which carves a packed
+``(B, T, 3d)`` QKV projection into per-head query/key/value views.
+Each fused kernel performs the same floating-point operations as the
+composition it replaces, so switching fusion on or off
+(:func:`repro.nn.compute.use_fused`) does not change results.
 """
 
 from __future__ import annotations
@@ -10,7 +20,7 @@ from __future__ import annotations
 import numpy as np
 from scipy.special import expit
 
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, _unbroadcast
 
 
 def relu(x: Tensor) -> Tensor:
@@ -71,22 +81,277 @@ def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-8) -> Te
     centered = x.data - mean
     var = (centered**2).mean(axis=-1, keepdims=True)
     inv_std = 1.0 / np.sqrt(var + eps)
-    normalized = centered * inv_std
-    out = normalized * weight.data + bias.data
+    normalized = centered
+    normalized *= inv_std  # in place: `centered` is not needed again
+    out = normalized * weight.data
+    out += bias.data
     d = x.data.shape[-1]
 
     def backward(grad: np.ndarray):
         grad_weight = (grad * normalized).reshape(-1, d).sum(axis=0)
         grad_bias = grad.reshape(-1, d).sum(axis=0)
         grad_norm = grad * weight.data
-        # Standard layer-norm backward:
-        # dx = (1/d) * inv_std * (d*gn - sum(gn) - n * sum(gn * n))
+        # Standard layer-norm backward, with the same operation order as
+        # the naive expression ((d*gn - sum(gn)) - n*sum(gn*n)) * (s/d)
+        # but accumulated in place on one buffer:
         sum_gn = grad_norm.sum(axis=-1, keepdims=True)
         sum_gn_n = (grad_norm * normalized).sum(axis=-1, keepdims=True)
-        grad_x = (inv_std / d) * (d * grad_norm - sum_gn - normalized * sum_gn_n)
+        grad_x = grad_norm
+        grad_x *= d
+        grad_x -= sum_gn
+        grad_x -= normalized * sum_gn_n
+        grad_x *= inv_std / d
         return ((x, grad_x), (weight, grad_weight), (bias, grad_bias))
 
     return Tensor._make(out, (x, weight, bias), backward)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor) -> Tensor:
+    """Fused affine map ``x @ weight + bias`` as a single graph node.
+
+    Identical floating-point operations to the ``matmul`` + ``add``
+    composition (the bias gradient reduces with the same
+    ``_unbroadcast`` sum), but records one node instead of two and
+    skips the intermediate pre-bias array's graph bookkeeping.
+    """
+    out = np.matmul(x.data, weight.data)
+    out += bias.data  # in place: one fewer full-size temporary
+    x_data, w_data = x.data, weight.data
+
+    def backward(grad: np.ndarray):
+        grad_x = np.matmul(grad, np.swapaxes(w_data, -1, -2))
+        grad_w = _unbroadcast(
+            np.matmul(np.swapaxes(x_data, -1, -2), grad), w_data.shape
+        )
+        grad_b = _unbroadcast(grad, bias.data.shape)
+        return ((x, grad_x), (weight, grad_w), (bias, grad_b))
+
+    return Tensor._make(out, (x, weight, bias), backward)
+
+
+_GELU_C = 0.7978845608028654  # sqrt(2 / pi)
+_GELU_A = 0.044715
+
+
+def fused_linear_act(
+    x: Tensor, weight: Tensor, bias: Tensor, activation: str = "relu"
+) -> Tensor:
+    """Fused ``activation(x @ weight + bias)`` (the FFN inner step).
+
+    ``activation`` is ``"relu"`` or ``"gelu"`` (tanh approximation,
+    same constants as :func:`gelu`).  One graph node replaces the
+    matmul, bias add, and activation; the backward applies the analytic
+    activation derivative to the incoming gradient before routing it
+    through the affine map exactly as :func:`linear` does.
+    """
+    pre = np.matmul(x.data, weight.data)
+    pre += bias.data
+    if activation == "relu":
+        act_mask = pre > 0
+        out = pre * act_mask
+        inner = None
+    elif activation == "gelu":
+        inner = np.tanh(_GELU_C * (pre + _GELU_A * pre * pre * pre))
+        out = 0.5 * pre * (1.0 + inner)
+    else:
+        raise ValueError(
+            f"unsupported activation {activation!r}; expected 'relu' or 'gelu'"
+        )
+    x_data, w_data = x.data, weight.data
+
+    def backward(grad: np.ndarray):
+        if activation == "relu":
+            grad_pre = grad * act_mask
+        else:
+            # d/du [0.5 u (1 + t(u))] with t = tanh(c (u + a u^3))
+            grad_pre = grad * (
+                0.5 * (1.0 + inner)
+                + 0.5
+                * pre
+                * (1.0 - inner * inner)
+                * _GELU_C
+                * (1.0 + 3.0 * _GELU_A * pre * pre)
+            )
+        grad_x = np.matmul(grad_pre, np.swapaxes(w_data, -1, -2))
+        grad_w = _unbroadcast(
+            np.matmul(np.swapaxes(x_data, -1, -2), grad_pre), w_data.shape
+        )
+        grad_b = _unbroadcast(grad_pre, bias.data.shape)
+        return ((x, grad_x), (weight, grad_w), (bias, grad_b))
+
+    return Tensor._make(out, (x, weight, bias), backward)
+
+
+def masked_softmax(
+    x: Tensor,
+    mask: np.ndarray | None = None,
+    axis: int = -1,
+    scale: float | None = None,
+    fill: float = -1e9,
+) -> Tensor:
+    """Fused ``softmax(masked_fill(x * scale, mask, fill))``.
+
+    Folds the attention-score scaling, the mask fill, and the max-shift
+    softmax into one pass over the scores.  ``mask`` (True = disallowed)
+    broadcasts against ``x``; masked positions receive ``fill`` before
+    the softmax — the same large-negative convention as the unfused
+    path, so the two produce identical probabilities — and exactly zero
+    gradient.
+    """
+    data = x.data
+    if scale is not None:
+        # Weak python scalars keep the input dtype under NEP 50; a
+        # stray np.float64 scale would silently upcast float32 scores.
+        scale = float(scale)
+        data = data * scale
+    fill = float(fill)
+    if mask is not None:
+        mask = np.broadcast_to(np.asarray(mask, dtype=bool), data.shape)
+        data = np.where(mask, fill, data)
+    shifted = data - data.max(axis=axis, keepdims=True)
+    out = np.exp(shifted)
+    out /= out.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray):
+        dot = (grad * out).sum(axis=axis, keepdims=True)
+        grad_x = out * (grad - dot)
+        if mask is not None:
+            grad_x = np.where(mask, 0.0, grad_x)
+        if scale is not None:
+            grad_x = grad_x * scale
+        return ((x, grad_x),)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def fused_attention(
+    qkv: Tensor,
+    mask: np.ndarray | None,
+    num_heads: int,
+    scale: float,
+    fill: float = -1e9,
+    dropout_mask: np.ndarray | None = None,
+) -> Tensor:
+    """Scaled-dot-product attention from a packed QKV, one graph node.
+
+    Takes the packed ``(B, T, 3d)`` projection and produces the merged
+    ``(B, T, d)`` context: head split, ``q @ kᵀ`` scaling, mask fill,
+    softmax (in place on the scores buffer), optional dropout on the
+    probabilities, ``probs @ v``, and the head merge — with a single
+    analytic backward that writes the packed QKV gradient directly
+    (no per-component zero-filled scatter buffers).
+
+    Every floating-point operation matches the unfused composition
+    (``split_qkv_heads`` + ``matmul`` + ``masked_softmax`` + dropout
+    multiply + ``matmul``) value for value, so swapping it in changes
+    no numerics — only the allocation count and graph size.
+
+    ``dropout_mask`` is a pre-scaled inverted-dropout mask for the
+    ``(B, h, T, T)`` probabilities (see :func:`dropout_mask`); pass
+    ``None`` when dropout is inactive.
+    """
+    batch, length, packed = qkv.shape
+    dim = packed // 3
+    if dim * 3 != packed or dim % num_heads != 0:
+        raise ValueError(
+            f"packed dim {packed} is not 3 * (num_heads={num_heads} * head_dim)"
+        )
+    head_dim = dim // num_heads
+    scale = float(scale)
+    fill = float(fill)
+
+    parts = qkv.data.reshape(batch, length, 3, num_heads, head_dim)
+    # Materialize contiguous head views once: the forward and the four
+    # backward batched matmuls all reuse them, and numpy's batched
+    # matmul is much slower on strided 4-D operands.  Copying never
+    # changes values.
+    q = np.ascontiguousarray(parts[:, :, 0].transpose(0, 2, 1, 3))
+    k = np.ascontiguousarray(parts[:, :, 1].transpose(0, 2, 1, 3))
+    v = np.ascontiguousarray(parts[:, :, 2].transpose(0, 2, 1, 3))
+
+    scores = np.matmul(q, k.swapaxes(-1, -2))  # (B, h, T, T)
+    scores *= scale
+    if mask is not None:
+        mask = np.broadcast_to(np.asarray(mask, dtype=bool), scores.shape)
+        np.copyto(scores, fill, where=mask)
+    scores -= scores.max(axis=-1, keepdims=True)
+    np.exp(scores, out=scores)
+    scores /= scores.sum(axis=-1, keepdims=True)
+    probs = scores  # softmax output, retained for the backward
+
+    dropped = probs if dropout_mask is None else probs * dropout_mask
+    context = np.matmul(dropped, v)  # (B, h, T, dh)
+    out = np.ascontiguousarray(context.transpose(0, 2, 1, 3)).reshape(
+        batch, length, dim
+    )
+
+    def backward(grad: np.ndarray):
+        # Merge-heads backward: pure view reshuffle, no arithmetic.
+        g = grad.reshape(batch, length, num_heads, head_dim).transpose(0, 2, 1, 3)
+        # context = dropped @ v
+        grad_dropped = np.matmul(g, v.swapaxes(-1, -2))
+        grad_v = np.matmul(dropped.swapaxes(-1, -2), g)
+        # dropout multiply
+        if dropout_mask is not None:
+            grad_probs = grad_dropped
+            grad_probs *= dropout_mask
+        else:
+            grad_probs = grad_dropped
+        # softmax (+ mask fill + scale), in place on grad_probs
+        dot = (grad_probs * probs).sum(axis=-1, keepdims=True)
+        grad_scores = grad_probs
+        grad_scores -= dot
+        grad_scores *= probs
+        if mask is not None:
+            np.copyto(grad_scores, 0.0, where=mask)
+        grad_scores *= scale
+        # scores = q @ kᵀ
+        grad_q = np.matmul(grad_scores, k)
+        grad_k = np.matmul(q.swapaxes(-1, -2), grad_scores).swapaxes(-1, -2)
+        # Head split backward: write each third of the packed gradient
+        # in place — no zero-filled scatter buffers to accumulate.
+        grad_parts = np.empty_like(parts)
+        grad_parts[:, :, 0] = grad_q.transpose(0, 2, 1, 3)
+        grad_parts[:, :, 1] = grad_k.transpose(0, 2, 1, 3)
+        grad_parts[:, :, 2] = grad_v.transpose(0, 2, 1, 3)
+        return ((qkv, grad_parts.reshape(batch, length, packed)),)
+
+    return Tensor._make(out, (qkv,), backward)
+
+
+def split_qkv_heads(qkv: Tensor, num_heads: int) -> tuple[Tensor, Tensor, Tensor]:
+    """Split a packed ``(B, T, 3d)`` QKV projection into head views.
+
+    Returns ``(q, k, v)``, each ``(B, num_heads, T, d // num_heads)``
+    and each bit-identical to projecting with the corresponding
+    ``(d, d)`` weight column block separately and reshaping.  Each
+    output's backward scatters its gradient into its third of the
+    packed projection, so the packed matmul receives one accumulated
+    gradient.
+    """
+    batch, length, packed = qkv.shape
+    dim = packed // 3
+    if dim * 3 != packed or dim % num_heads != 0:
+        raise ValueError(
+            f"packed dim {packed} is not 3 * (num_heads={num_heads} * head_dim)"
+        )
+    head_dim = dim // num_heads
+    parts = qkv.data.reshape(batch, length, 3, num_heads, head_dim)
+    qkv_dtype = qkv.data.dtype
+
+    def component(index: int) -> Tensor:
+        out = np.ascontiguousarray(parts[:, :, index].transpose(0, 2, 1, 3))
+
+        def backward(grad: np.ndarray):
+            full = np.zeros(
+                (batch, length, 3, num_heads, head_dim), dtype=qkv_dtype
+            )
+            full[:, :, index] = grad.transpose(0, 2, 1, 3)
+            return ((qkv, full.reshape(batch, length, packed)),)
+
+        return Tensor._make(out, (qkv,), backward)
+
+    return component(0), component(1), component(2)
 
 
 def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
@@ -108,7 +373,7 @@ def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray) -> Ten
 
     Uses the stable formulation ``max(x, 0) - x*t + log(1 + exp(-|x|))``.
     """
-    targets_arr = np.asarray(targets, dtype=np.float64)
+    targets_arr = np.asarray(targets, dtype=logits.data.dtype)
     x = logits.data
     out = np.maximum(x, 0.0) - x * targets_arr + np.log1p(np.exp(-np.abs(x)))
     value = np.asarray(out.mean())
@@ -152,10 +417,15 @@ def l2_normalize(x: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
 
 
 def dropout_mask(
-    shape: tuple[int, ...], rate: float, rng: np.random.Generator
+    shape: tuple[int, ...], rate: float, rng: np.random.Generator, dtype=np.float64
 ) -> np.ndarray:
-    """Sample an inverted-dropout mask (already scaled by 1/keep)."""
+    """Sample an inverted-dropout mask (already scaled by 1/keep).
+
+    The draw is always a float64 ``rng.random`` call (so the RNG stream
+    is identical across precisions); only the emitted mask is cast to
+    ``dtype``.
+    """
     if not 0.0 <= rate < 1.0:
         raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
     keep = 1.0 - rate
-    return (rng.random(shape) < keep).astype(np.float64) / keep
+    return (rng.random(shape) < keep).astype(dtype) / keep

@@ -11,8 +11,8 @@ from typing import Callable
 
 import numpy as np
 
+from repro.nn import compute, init
 from repro.nn import functional as F
-from repro.nn import init
 from repro.nn.module import Module, Parameter
 from repro.nn.tensor import Tensor
 
@@ -47,10 +47,11 @@ class Linear(Module):
         self.bias = Parameter(init.zeros((out_features,))) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
-        out = x.matmul(self.weight)
-        if self.bias is not None:
-            out = out + self.bias
-        return out
+        if self.bias is None:
+            return x.matmul(self.weight)
+        if compute.fused_enabled():
+            return F.linear(x, self.weight, self.bias)
+        return x.matmul(self.weight) + self.bias
 
     def __repr__(self) -> str:
         return f"Linear({self.in_features}, {self.out_features}, bias={self.bias is not None})"
@@ -125,7 +126,7 @@ class Dropout(Module):
     def forward(self, x: Tensor) -> Tensor:
         if not self.training or self.rate == 0.0:
             return x
-        mask = F.dropout_mask(x.shape, self.rate, self._rng)
+        mask = F.dropout_mask(x.shape, self.rate, self._rng, dtype=x.dtype)
         return x * Tensor(mask)
 
     def __repr__(self) -> str:

@@ -8,10 +8,11 @@ layers such as :class:`repro.nn.layers.Dropout` respect.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Callable, Iterator
 
 import numpy as np
 
+from repro.nn import precision as _precision
 from repro.nn.tensor import Tensor
 
 
@@ -20,6 +21,19 @@ class Parameter(Tensor):
 
     def __init__(self, data) -> None:
         super().__init__(data, requires_grad=True)
+
+
+#: Registered state-dict upgraders, applied (in registration order) by
+#: :meth:`Module.load_state_dict` before key checking.  Each hook takes
+#: ``(module, state)`` and returns a (possibly rewritten) state dict;
+#: layout changes such as the packed QKV projection register a hook here
+#: so legacy checkpoints keep loading (see ``repro.nn.attention``).
+STATE_DICT_UPGRADES: list[Callable[["Module", dict], dict]] = []
+
+
+def register_state_dict_upgrade(hook: Callable[["Module", dict], dict]) -> None:
+    """Register a state-dict rewrite applied on every ``load_state_dict``."""
+    STATE_DICT_UPGRADES.append(hook)
 
 
 class Module:
@@ -104,8 +118,14 @@ class Module:
         """Load parameter values from a flat mapping.
 
         With ``strict=True`` (default) the key sets must match exactly.
-        Shapes must always match.
+        Shapes must always match.  Values are cast to each parameter's
+        own dtype, so a float32 model loads a float64 checkpoint (and
+        vice versa) without changing the model's precision; registered
+        :data:`STATE_DICT_UPGRADES` hooks run first so legacy layouts
+        (e.g. unpacked Q/K/V projections) are rewritten transparently.
         """
+        for upgrade in STATE_DICT_UPGRADES:
+            state = upgrade(self, state)
         own = dict(self.named_parameters())
         if strict:
             missing = sorted(set(own) - set(state))
@@ -118,13 +138,37 @@ class Module:
             if name not in own:
                 continue
             param = own[name]
-            values = np.asarray(values, dtype=np.float64)
+            values = np.asarray(values, dtype=param.data.dtype)
             if param.data.shape != values.shape:
                 raise ValueError(
                     f"shape mismatch for '{name}': "
                     f"{param.data.shape} vs {values.shape}"
                 )
             param.data = values.copy()
+
+    def to_dtype(self, dtype) -> "Module":
+        """Cast every parameter to ``dtype`` in place; returns ``self``.
+
+        Models are always *constructed* in float64 (the init draws are
+        precision-independent, so a float32 model is exactly the
+        float64 init rounded once); opting into float32 is a cast after
+        construction — and before the optimizer is created, so Adam's
+        ``zeros_like`` buffers inherit the dtype.  A same-dtype cast is
+        a no-op.
+        """
+        dtype = _precision.resolve_dtype(dtype)
+        for param in self.parameters():
+            if param.data.dtype != dtype:
+                param.data = param.data.astype(dtype)
+                if param.grad is not None:
+                    param.grad = param.grad.astype(dtype)
+        return self
+
+    def param_dtype(self) -> np.dtype:
+        """The dtype of the module's parameters (first parameter wins)."""
+        for param in self.parameters():
+            return param.data.dtype
+        return _precision.default_dtype()
 
     def __call__(self, *args, **kwargs):
         return self.forward(*args, **kwargs)

@@ -3,6 +3,11 @@
 The paper optimizes both stages with Adam (lr=0.001, β1=0.9, β2=0.999)
 and a linear decay of the learning rate (§4.1.4); :class:`Adam` and
 :class:`LinearDecaySchedule` implement exactly that.
+
+Precision: moment/velocity buffers are ``zeros_like`` the parameters,
+so they inherit the model's dtype — construct the optimizer *after*
+``Module.to_dtype`` (the training loops do), and every update runs
+in-place, which keeps float32 state float32 end to end.
 """
 
 from __future__ import annotations

@@ -88,15 +88,16 @@ class GRU(Module):
             hidden state is carried over unchanged.
         """
         batch, length, __ = x.shape
+        dtype = x.data.dtype  # keep-mask and state follow the input precision
         layer_input = x
         for cell in self.cells:
-            hidden = Tensor(np.zeros((batch, self.hidden_dim)))
+            hidden = Tensor(np.zeros((batch, self.hidden_dim), dtype=dtype))
             outputs = []
             for t in range(length):
                 step = layer_input[:, t, :]
                 new_hidden = cell(step, hidden)
                 if step_mask is not None:
-                    keep = np.asarray(step_mask, dtype=np.float64)[:, t][:, None]
+                    keep = np.asarray(step_mask, dtype=dtype)[:, t][:, None]
                     new_hidden = new_hidden * Tensor(keep) + hidden * Tensor(1.0 - keep)
                 hidden = new_hidden
                 outputs.append(hidden)

@@ -15,9 +15,15 @@ Design notes
   layer normalization) are implemented as fused primitives in
   :mod:`repro.nn.functional` with analytic backward rules; everything
   else composes the primitives defined here.
-* ``float64`` is the default dtype.  The library trains small models on
+* ``float64`` is the default dtype: the library trains small models on
   CPU where float64 costs little and makes finite-difference gradient
-  checks tight.
+  checks tight.  The default is a policy, not a constant — see
+  :mod:`repro.nn.precision`.  Float arrays (float32/float64) keep their
+  own dtype through every op, so a float32 model propagates float32
+  activations end to end; non-float payloads (lists, ints, bools) are
+  coerced to the current default, and scalars folded into arithmetic
+  adopt the other operand's dtype so a python ``0.5`` never silently
+  upcasts a float32 graph.
 """
 
 from __future__ import annotations
@@ -27,6 +33,7 @@ from typing import Callable, Iterable, Sequence, Union
 
 import numpy as np
 
+from repro.nn import precision as _precision
 from repro.obs import profiling as _profiling
 
 Arrayish = Union["Tensor", np.ndarray, float, int, list, tuple]
@@ -75,10 +82,10 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
-def _as_array(value: Arrayish, dtype=np.float64) -> np.ndarray:
+def _as_array(value: Arrayish, dtype=None) -> np.ndarray:
     if isinstance(value, Tensor):
         raise TypeError("expected a raw array-like, got a Tensor")
-    return np.asarray(value, dtype=dtype)
+    return np.asarray(value, dtype=dtype if dtype is not None else _precision.default_dtype())
 
 
 class Tensor:
@@ -87,8 +94,10 @@ class Tensor:
     Parameters
     ----------
     data:
-        Array-like payload.  Stored as ``float64`` unless a dtype is
-        given explicitly.
+        Array-like payload.  Float32/float64 arrays are stored as-is;
+        anything else (lists, ints, bools) is coerced to the current
+        default dtype (:func:`repro.nn.precision.default_dtype`,
+        ``float64`` unless opted into float32).
     requires_grad:
         Whether gradients should be accumulated into :attr:`grad` during
         :meth:`backward`.
@@ -105,7 +114,10 @@ class Tensor:
     ) -> None:
         if isinstance(data, Tensor):
             data = data.data
-        self.data = np.asarray(data, dtype=np.float64)
+        data = np.asarray(data)
+        if data.dtype not in _precision.SUPPORTED_DTYPES:
+            data = data.astype(_precision.default_dtype())
+        self.data = data
         self.grad: np.ndarray | None = None
         self.requires_grad = bool(requires_grad)
         self._parents = _parents
@@ -162,7 +174,7 @@ class Tensor:
     # ------------------------------------------------------------------
     def _accumulate(self, grad: np.ndarray) -> None:
         if self.grad is None:
-            self.grad = grad.astype(np.float64, copy=True)
+            self.grad = grad.astype(self.data.dtype, copy=True)
         else:
             self.grad = self.grad + grad
 
@@ -182,7 +194,7 @@ class Tensor:
                     f"tensor, got shape {self.shape}"
                 )
             gradient = np.ones_like(self.data)
-        gradient = np.asarray(gradient, dtype=np.float64)
+        gradient = np.asarray(gradient, dtype=self.data.dtype)
         if gradient.shape != self.data.shape:
             raise ValueError(
                 f"seed gradient shape {gradient.shape} does not match tensor "
@@ -239,13 +251,17 @@ class Tensor:
     # Arithmetic
     # ------------------------------------------------------------------
     @staticmethod
-    def _coerce(value: Arrayish) -> "Tensor":
+    def _coerce(value: Arrayish, like: np.ndarray | None = None) -> "Tensor":
         if isinstance(value, Tensor):
             return value
-        return Tensor(np.asarray(value, dtype=np.float64))
+        # Scalars and lists folded into arithmetic adopt the other
+        # operand's dtype: under NEP 50 a 0-d float64 array is "strong"
+        # and would silently upcast a float32 graph.
+        dtype = like.dtype if like is not None else _precision.default_dtype()
+        return Tensor(np.asarray(value, dtype=dtype))
 
     def __add__(self, other: Arrayish) -> "Tensor":
-        other = Tensor._coerce(other)
+        other = Tensor._coerce(other, like=self.data)
         out = self.data + other.data
 
         def backward(grad: np.ndarray):
@@ -259,7 +275,7 @@ class Tensor:
     __radd__ = __add__
 
     def __sub__(self, other: Arrayish) -> "Tensor":
-        other = Tensor._coerce(other)
+        other = Tensor._coerce(other, like=self.data)
         out = self.data - other.data
 
         def backward(grad: np.ndarray):
@@ -271,10 +287,10 @@ class Tensor:
         return Tensor._make(out, (self, other), backward)
 
     def __rsub__(self, other: Arrayish) -> "Tensor":
-        return Tensor._coerce(other) - self
+        return Tensor._coerce(other, like=self.data) - self
 
     def __mul__(self, other: Arrayish) -> "Tensor":
-        other = Tensor._coerce(other)
+        other = Tensor._coerce(other, like=self.data)
         out = self.data * other.data
         self_data, other_data = self.data, other.data
 
@@ -289,7 +305,7 @@ class Tensor:
     __rmul__ = __mul__
 
     def __truediv__(self, other: Arrayish) -> "Tensor":
-        other = Tensor._coerce(other)
+        other = Tensor._coerce(other, like=self.data)
         out = self.data / other.data
         self_data, other_data = self.data, other.data
 
@@ -305,7 +321,7 @@ class Tensor:
         return Tensor._make(out, (self, other), backward)
 
     def __rtruediv__(self, other: Arrayish) -> "Tensor":
-        return Tensor._coerce(other) / self
+        return Tensor._coerce(other, like=self.data) / self
 
     def __neg__(self) -> "Tensor":
         out = -self.data
@@ -338,7 +354,7 @@ class Tensor:
             return self._matmul_impl(other)
 
     def _matmul_impl(self, other: Arrayish) -> "Tensor":
-        other = Tensor._coerce(other)
+        other = Tensor._coerce(other, like=self.data)
         out = np.matmul(self.data, other.data)
         self_data, other_data = self.data, other.data
 
@@ -477,9 +493,11 @@ class Tensor:
         argmax = np.expand_dims(self.data.argmax(axis=axis), axis)
         self_shape = self.shape
 
+        self_dtype = self.data.dtype
+
         def backward(grad: np.ndarray):
             expanded = grad if keepdims else np.expand_dims(grad, axis)
-            full = np.zeros(self_shape, dtype=np.float64)
+            full = np.zeros(self_shape, dtype=self_dtype)
             np.put_along_axis(full, argmax, expanded, axis)
             return ((self, full),)
 
@@ -520,9 +538,10 @@ class Tensor:
     def __getitem__(self, key) -> "Tensor":
         out = self.data[key]
         self_shape = self.shape
+        self_dtype = self.data.dtype
 
         def backward(grad: np.ndarray):
-            full = np.zeros(self_shape, dtype=np.float64)
+            full = np.zeros(self_shape, dtype=self_dtype)
             np.add.at(full, key, grad)
             return ((self, full),)
 
@@ -539,9 +558,10 @@ class Tensor:
         indices = np.asarray(indices)
         out = self.data[indices]
         self_shape = self.shape
+        self_dtype = self.data.dtype
 
         def backward(grad: np.ndarray):
-            full = np.zeros(self_shape, dtype=np.float64)
+            full = np.zeros(self_shape, dtype=self_dtype)
             np.add.at(full, indices.reshape(-1), grad.reshape(-1, *self_shape[1:]))
             return ((self, full),)
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn import compute
 from repro.nn import functional as F
 from repro.nn.attention import MultiHeadSelfAttention
 from repro.nn.layers import Dropout, LayerNorm, Linear
@@ -26,20 +27,42 @@ from repro.obs.profiling import profile_scope
 
 
 class PositionwiseFeedForward(Module):
-    """Two-layer position-wise MLP with ReLU (Eq. 11)."""
+    """Two-layer position-wise MLP (Eq. 11).
+
+    ``activation`` is ``"relu"`` (the paper's choice and the default)
+    or ``"gelu"``.  The inner step runs as the fused
+    :func:`repro.nn.functional.fused_linear_act` kernel — one graph
+    node for ``act(x W1 + b1)`` — unless fusion is scoped off
+    (:func:`repro.nn.compute.use_fused`); both paths compute the same
+    floating-point values.
+    """
 
     def __init__(
         self,
         dim: int,
         hidden_dim: int,
         rng: np.random.Generator | None = None,
+        activation: str = "relu",
     ) -> None:
         super().__init__()
+        if activation not in ("relu", "gelu"):
+            raise ValueError(
+                f"unsupported activation {activation!r}; expected 'relu' or 'gelu'"
+            )
+        self.activation = activation
         self.fc1 = Linear(dim, hidden_dim, rng=rng)
         self.fc2 = Linear(hidden_dim, dim, rng=rng)
 
     def forward(self, x: Tensor) -> Tensor:
-        return self.fc2(F.relu(self.fc1(x)))
+        if compute.fused_enabled():
+            hidden = F.fused_linear_act(
+                x, self.fc1.weight, self.fc1.bias, self.activation
+            )
+        elif self.activation == "relu":
+            hidden = F.relu(self.fc1(x))
+        else:
+            hidden = F.gelu(self.fc1(x))
+        return self.fc2(hidden)
 
 
 class TransformerEncoderLayer(Module):

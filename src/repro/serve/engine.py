@@ -162,6 +162,7 @@ class RecommendationEngine:
         checkpoint: str | os.PathLike,
         model,
         dataset: SequenceDataset,
+        dtype=None,
         **engine_kwargs,
     ) -> "RecommendationEngine":
         """Load weights from a PR-1 checkpoint and wrap them in an engine.
@@ -174,6 +175,11 @@ class RecommendationEngine:
         configuration the checkpoint was trained with (use
         :func:`repro.models.registry.build_model`); a mismatch raises
         :class:`~repro.nn.serialization.CheckpointError`.
+
+        ``dtype`` selects the serving precision ("float32" roughly
+        doubles scoring throughput; see docs/PERFORMANCE.md).  When
+        omitted, the model adopts the checkpoint's own dtype, so a
+        float32-trained checkpoint serves in float32 without flags.
         """
         checkpoint = os.fspath(checkpoint)
         if os.path.isdir(checkpoint):
@@ -205,6 +211,19 @@ class RecommendationEngine:
             raise CheckpointError(
                 f"{checkpoint}: archive holds no model parameters"
             )
+        if dtype is None and hasattr(model, "to_dtype"):
+            # Adopt the checkpoint's precision: if every stored float
+            # array is float32 the run was trained in float32 — keep
+            # serving it that way rather than silently upcasting.
+            stored = {
+                np.asarray(values).dtype
+                for values in state.values()
+                if np.issubdtype(np.asarray(values).dtype, np.floating)
+            }
+            if stored == {np.dtype(np.float32)}:
+                dtype = np.float32
+        if dtype is not None and hasattr(model, "to_dtype"):
+            model.to_dtype(dtype)
         try:
             model.load_state_dict(state)
         except (KeyError, ValueError, IndexError) as error:

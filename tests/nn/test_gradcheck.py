@@ -13,13 +13,16 @@ the checks are tight (atol 1e-6) and bit-reproducible.
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.nn import functional as F
+from repro.nn import precision
 from repro.nn.attention import MultiHeadSelfAttention
 from repro.nn.layers import LayerNorm, Linear
-from repro.nn.module import Module
+from repro.nn.module import Module, Parameter
 from repro.nn.tensor import Tensor
-from repro.nn.transformer import TransformerEncoderLayer
+from repro.nn.transformer import PositionwiseFeedForward, TransformerEncoderLayer
 
 EPS = 1e-6
 ATOL = 1e-6
@@ -117,6 +120,20 @@ class TestGradcheck:
 
         check_parameter_gradients(module, loss_fn)
 
+    def test_fused_ffn(self):
+        """The fused linear+activation kernel used by the FFN."""
+        for activation in ("relu", "gelu"):
+            module = PositionwiseFeedForward(
+                dim=5, hidden_dim=7, rng=np.random.default_rng(19),
+                activation=activation,
+            )
+            x = np.random.default_rng(20).normal(size=(2, 3, 5))
+
+            def loss_fn():
+                return scalarize(module(Tensor(x)), seed=21)
+
+            check_parameter_gradients(module, loss_fn)
+
     def test_failure_names_offending_parameter(self):
         """The harness's own error reporting: a corrupted gradient is
         attributed to the right parameter name with its max abs error."""
@@ -138,3 +155,146 @@ class TestGradcheck:
                 check_parameter_gradients(module, loss_fn)
         assert "weight" in str(excinfo.value)
         assert "max abs err" in str(excinfo.value)
+
+
+# ----------------------------------------------------------------------
+# Fused compute-core primitives, checked in float64 AND float32.
+#
+# Float32 central differences are dominated by rounding (eps_f32 ≈
+# 1.2e-7), so the step is widened to 1e-3 and the tolerance comes from
+# precision.grad_atol — loose in absolute terms but more than tight
+# enough to catch a wrong analytic backward.
+# ----------------------------------------------------------------------
+DTYPE_CASES = [
+    pytest.param(np.float64, EPS, id="float64"),
+    pytest.param(np.float32, 1e-3, id="float32"),
+]
+
+
+class _PrimitiveHarness(Module):
+    """Wraps raw tensors in Parameters so the module harness sees them."""
+
+    def __init__(self, arrays: dict[str, np.ndarray], dtype) -> None:
+        super().__init__()
+        for name, value in arrays.items():
+            setattr(self, name, Parameter(np.asarray(value, dtype=dtype)))
+
+
+class TestFusedPrimitiveGradcheck:
+    @pytest.mark.parametrize("dtype, eps", DTYPE_CASES)
+    def test_linear(self, dtype, eps):
+        rng = np.random.default_rng(30)
+        module = _PrimitiveHarness(
+            {"x": rng.normal(size=(3, 4)), "w": rng.normal(size=(4, 5)),
+             "b": rng.normal(size=(5,))},
+            dtype,
+        )
+
+        def loss_fn():
+            return scalarize(F.linear(module.x, module.w, module.b), seed=31)
+
+        check_parameter_gradients(
+            module, loss_fn, eps=eps, atol=precision.grad_atol(dtype)
+        )
+
+    @pytest.mark.parametrize("dtype, eps", DTYPE_CASES)
+    @pytest.mark.parametrize("activation", ["relu", "gelu"])
+    def test_fused_linear_act(self, dtype, eps, activation):
+        rng = np.random.default_rng(32)
+        module = _PrimitiveHarness(
+            {"x": rng.normal(size=(3, 4)), "w": rng.normal(size=(4, 6)),
+             "b": rng.normal(size=(6,))},
+            dtype,
+        )
+
+        def loss_fn():
+            out = F.fused_linear_act(module.x, module.w, module.b, activation)
+            return scalarize(out, seed=33)
+
+        check_parameter_gradients(
+            module, loss_fn, eps=eps, atol=precision.grad_atol(dtype)
+        )
+
+    @pytest.mark.parametrize("dtype, eps", DTYPE_CASES)
+    def test_masked_softmax(self, dtype, eps):
+        rng = np.random.default_rng(34)
+        module = _PrimitiveHarness({"x": rng.normal(size=(2, 2, 4, 4))}, dtype)
+        mask = np.triu(np.ones((4, 4), dtype=bool), k=1)
+
+        def loss_fn():
+            out = F.masked_softmax(module.x, mask, axis=-1, scale=0.5)
+            return scalarize(out, seed=35)
+
+        check_parameter_gradients(
+            module, loss_fn, eps=eps, atol=precision.grad_atol(dtype)
+        )
+
+    @pytest.mark.parametrize("dtype, eps", DTYPE_CASES)
+    def test_packed_qkv_attention(self, dtype, eps):
+        """The packed projection + head split, end to end through the
+        attention arithmetic (matmul, masked softmax, context)."""
+        rng = np.random.default_rng(36)
+        module = _PrimitiveHarness(
+            {"x": rng.normal(size=(2, 3, 4)),
+             "w": rng.normal(size=(4, 12)) * 0.5,
+             "b": rng.normal(size=(12,)) * 0.1},
+            dtype,
+        )
+        mask = np.triu(np.ones((3, 3), dtype=bool), k=1)
+
+        def loss_fn():
+            qkv = F.linear(module.x, module.w, module.b)
+            q, k, v = F.split_qkv_heads(qkv, num_heads=2)
+            scores = q.matmul(k.swapaxes(-1, -2))
+            probs = F.masked_softmax(scores, mask, axis=-1, scale=1.0 / np.sqrt(2.0))
+            context = probs.matmul(v)
+            return scalarize(context, seed=37)
+
+        check_parameter_gradients(
+            module, loss_fn, eps=eps, atol=precision.grad_atol(dtype)
+        )
+
+
+class TestMaskedSoftmaxProperty:
+    """Fused masked-softmax == masked_fill + softmax, bit for bit."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        batch=st.integers(1, 3),
+        length=st.integers(1, 6),
+        scale=st.floats(0.1, 2.0),
+        seed=st.integers(0, 2**31 - 1),
+        causal=st.booleans(),
+    )
+    def test_matches_unfused_composition(self, batch, length, scale, seed, causal):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(batch, length, length)) * 3.0
+        mask = (
+            np.triu(np.ones((length, length), dtype=bool), k=1)
+            if causal
+            else rng.random((batch, length, length)) < 0.3
+        )
+        # Never present a fully-masked row (softmax of all -1e9 is
+        # well-defined but attention always unmasks the diagonal first).
+        mask &= ~np.eye(length, dtype=bool)
+
+        fused_in = Tensor(data.copy(), requires_grad=True)
+        fused = F.masked_softmax(fused_in, mask, axis=-1, scale=scale, fill=-1e9)
+
+        unfused_in = Tensor(data.copy(), requires_grad=True)
+        unfused = F.softmax(
+            (unfused_in * scale).masked_fill(mask, -1e9), axis=-1
+        )
+
+        np.testing.assert_array_equal(fused.data, unfused.data)
+
+        upstream = np.random.default_rng(seed + 1).normal(size=fused.shape)
+        (fused * Tensor(upstream)).sum().backward()
+        (unfused * Tensor(upstream)).sum().backward()
+        np.testing.assert_array_equal(fused_in.grad, unfused_in.grad)
+
+    def test_no_mask_no_scale_is_plain_softmax(self):
+        x = np.random.default_rng(38).normal(size=(3, 5))
+        fused = F.masked_softmax(Tensor(x))
+        plain = F.softmax(Tensor(x))
+        np.testing.assert_array_equal(fused.data, plain.data)
