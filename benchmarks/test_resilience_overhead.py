@@ -1,0 +1,150 @@
+"""E-S2 — resilience-layer overhead on the serving happy path.
+
+PR 6 threads deadlines, a circuit breaker and fallback bookkeeping
+through every ``recommend_batch`` call.  All of it must be effectively
+free while the system is healthy: the gate asserts the resilient
+engine's cold-cache throughput stays within ``MAX_OVERHEAD`` of an
+engine built with ``resilience=None`` (the PR-2 behaviour), measured
+interleaved best-of-N on the identical request stream — and that the
+served top-k lists are bit-identical, resilience on or off.
+
+Run with ``--quick`` for the reduced-scale CI smoke variant.  Results
+land in ``benchmarks/results/resilience.md`` and the machine-readable
+``BENCH_resilience.json`` at the repo root.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import save_markdown
+from repro.data.preprocessing import SequenceDataset
+from repro.data.synthetic import SyntheticConfig, generate_log
+from repro.experiments.config import ExperimentScale
+from repro.models.registry import build_model
+from repro.serve import RecommendationEngine, RecRequest
+
+#: Happy-path throughput gate: resilient / plain wall time.
+MAX_OVERHEAD = 1.05
+K = 10
+
+BENCH_JSON = os.path.join(
+    os.path.dirname(__file__), os.pardir, "BENCH_resilience.json"
+)
+
+
+@pytest.fixture(scope="module")
+def scale_config(request):
+    quick = request.config.getoption("--quick")
+    return {
+        "num_users": 400 if quick else 800,
+        "rounds": 3 if quick else 5,
+        "quick": quick,
+    }
+
+
+def _time_stream(engine, requests, cold: bool) -> float:
+    if cold:
+        engine.invalidate_cache()
+    started = time.perf_counter()
+    engine.recommend_batch(requests)
+    return time.perf_counter() - started
+
+
+def test_resilience_overhead(benchmark, scale_config, results_dir):
+    config = SyntheticConfig(
+        num_users=scale_config["num_users"],
+        num_items=800,
+        num_interests=10,
+        mean_length=12.0,
+        seed=7,
+    )
+    dataset = SequenceDataset.from_log(generate_log(config), name="resilience-bench")
+    scale = ExperimentScale(epochs=1, dim=32, batch_size=64, max_length=12)
+    model = build_model("SASRec", dataset, scale)
+    model.fit(dataset)
+
+    requests = [RecRequest(user=user, k=K) for user in range(dataset.num_users)]
+    plain = RecommendationEngine(model, dataset, max_batch_size=64, resilience=None)
+    resilient = RecommendationEngine(model, dataset, max_batch_size=64)
+    assert plain.policy is None and resilient.policy is not None
+
+    # Correctness first: the resilience layer must be invisible on the
+    # healthy path — bit-identical top-k and scores.
+    for a, b in zip(
+        plain.recommend_batch(requests), resilient.recommend_batch(requests)
+    ):
+        assert np.array_equal(a.items, b.items)
+        np.testing.assert_array_equal(a.scores, b.scores)
+
+    # Interleaved best-of-N so drift (thermal, page cache) hits both
+    # engines alike.  One pedantic round wraps the whole interleave:
+    # the A/B comparison needs paired rounds, not pytest-benchmark's
+    # single-subject statistics.
+    rounds = scale_config["rounds"]
+
+    def run_interleaved():
+        cold_plain, cold_resilient = [], []
+        warm_plain, warm_resilient = [], []
+        for _ in range(rounds):
+            cold_plain.append(_time_stream(plain, requests, cold=True))
+            cold_resilient.append(_time_stream(resilient, requests, cold=True))
+            warm_plain.append(_time_stream(plain, requests, cold=False))
+            warm_resilient.append(_time_stream(resilient, requests, cold=False))
+        return {
+            "cold_plain_s": min(cold_plain),
+            "cold_resilient_s": min(cold_resilient),
+            "warm_plain_s": min(warm_plain),
+            "warm_resilient_s": min(warm_resilient),
+        }
+
+    best = benchmark.pedantic(run_interleaved, rounds=1, iterations=1)
+    cold_ratio = best["cold_resilient_s"] / best["cold_plain_s"]
+    warm_ratio = best["warm_resilient_s"] / best["warm_plain_s"]
+    n = len(requests)
+
+    lines = [
+        "### Resilience-layer overhead (healthy serving path)",
+        "",
+        f"{n} user requests, k={K}, catalogue of {dataset.num_items} "
+        f"items, SASRec dim {scale.dim}; interleaved best-of-{rounds}"
+        + (" (--quick)" if scale_config["quick"] else "") + ".",
+        "",
+        "| path | cold cache (s) | req/s | warm cache (s) | req/s |",
+        "|---|---|---|---|---|",
+        f"| resilience off (`resilience=None`) | {best['cold_plain_s']:.3f} "
+        f"| {n / best['cold_plain_s']:.0f} | {best['warm_plain_s']:.3f} "
+        f"| {n / best['warm_plain_s']:.0f} |",
+        f"| resilience on (default) | {best['cold_resilient_s']:.3f} "
+        f"| {n / best['cold_resilient_s']:.0f} | {best['warm_resilient_s']:.3f} "
+        f"| {n / best['warm_resilient_s']:.0f} |",
+        "",
+        f"Cold-path overhead: **{(cold_ratio - 1) * 100:+.1f}%** "
+        f"(gate: ≤ {(MAX_OVERHEAD - 1) * 100:.0f}%); warm-path "
+        f"{(warm_ratio - 1) * 100:+.1f}% (reported, not gated).",
+        "Top-k lists and scores bit-identical with the layer on or off.",
+    ]
+    markdown = "\n".join(lines)
+    print("\n" + markdown)
+    save_markdown(results_dir, "resilience", markdown)
+
+    payload = {
+        "benchmark": "resilience_overhead",
+        "quick": scale_config["quick"],
+        "requests": n,
+        "rounds": rounds,
+        "gates": {"max_cold_overhead_ratio": MAX_OVERHEAD},
+        "cold_overhead_ratio": cold_ratio,
+        "warm_overhead_ratio": warm_ratio,
+        **best,
+    }
+    with open(BENCH_JSON, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+    assert cold_ratio <= MAX_OVERHEAD, (
+        f"resilience layer costs {(cold_ratio - 1) * 100:.1f}% on the cold "
+        f"happy path (budget {(MAX_OVERHEAD - 1) * 100:.0f}%)"
+    )

@@ -13,7 +13,10 @@ Examples::
     python -m repro stats runs/beauty
     python -m repro serve --checkpoint ckpts/joint --requests-file reqs.jsonl
     python -m repro serve --checkpoint ckpts/joint --port 8080
+    python -m repro serve --checkpoint ckpts/joint --port 8080 \
+        --deadline-ms 100 --max-inflight 32 --watch-checkpoints
     python -m repro recommend --checkpoint ckpts/joint --user 42 --k 10
+    python -m repro chaos --checkpoint ckpts/joint
 
 ``train`` runs CL4SRec under the fault-tolerant runtime: crash-safe
 rotating checkpoints, SIGTERM/SIGINT flush-and-exit (exit code 3), and
@@ -109,24 +112,46 @@ def _add_serving_arguments(parser: argparse.ArgumentParser) -> None:
         "(float32 roughly doubles scoring throughput, see "
         "docs/PERFORMANCE.md)",
     )
+    parser.add_argument(
+        "--deadline-ms",
+        dest="deadline_ms",
+        type=float,
+        default=None,
+        help="default per-request latency budget; requests without their "
+        "own deadline_ms degrade/504 past it (see docs/SERVING.md)",
+    )
+    parser.add_argument(
+        "--no-resilience",
+        dest="resilience",
+        action="store_false",
+        help="disable the resilience layer (deadlines, circuit breaker, "
+        "degraded-mode fallback) — the PR-2 fail-hard behaviour",
+    )
 
 
-def _build_engine(args: argparse.Namespace):
+def _build_engine(args: argparse.Namespace, **overrides):
     """Dataset + model + checkpoint → a ready RecommendationEngine."""
     from repro.data.registry import load_dataset
     from repro.models.registry import build_model
-    from repro.serve import RecommendationEngine
+    from repro.serve import RecommendationEngine, ResilienceConfig
 
     scale = _scale_from_args(args)
     dataset = load_dataset(args.dataset, scale=scale.dataset_scale, seed=scale.seed)
     model = build_model(args.model, dataset, scale)
-    return RecommendationEngine.from_checkpoint(
-        args.checkpoint,
-        model,
-        dataset,
+    engine_kwargs = dict(
         dtype=args.dtype,
         max_batch_size=args.max_batch_size,
         cache_size=args.cache_size,
+    )
+    if "resilience" not in overrides:
+        engine_kwargs["resilience"] = (
+            ResilienceConfig(default_deadline_ms=args.deadline_ms)
+            if getattr(args, "resilience", True)
+            else None
+        )
+    engine_kwargs.update(overrides)
+    return RecommendationEngine.from_checkpoint(
+        args.checkpoint, model, dataset, **engine_kwargs
     )
 
 
@@ -166,10 +191,22 @@ def _run_serve(args: argparse.Namespace) -> int:
             print(f"metrics written to {args.metrics_output}", file=sys.stderr)
         return 0
 
-    server = RecommendationServer(engine, host=args.host, port=args.port)
+    server = RecommendationServer(
+        engine, host=args.host, port=args.port, max_inflight=args.max_inflight
+    )
+    if args.watch_checkpoints:
+        if not os.path.isdir(args.checkpoint):
+            print(
+                "serve: --watch-checkpoints needs --checkpoint to be a "
+                "checkpoint directory, not a single archive",
+                file=sys.stderr,
+            )
+            server.httpd.server_close()
+            return 2
+        server.watch_checkpoints(args.checkpoint, interval_s=args.watch_interval)
     host, port = server.address
     print(f"serving {args.model} on http://{host}:{port} "
-          f"(POST /recommend, GET /metrics, GET /health)")
+          f"(POST /recommend, POST /admin/reload, GET /metrics, GET /health)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -180,6 +217,62 @@ def _run_serve(args: argparse.Namespace) -> int:
             with open(args.metrics_output, "w") as handle:
                 handle.write(engine.metrics.to_json() + "\n")
     return 0
+
+
+def _run_chaos(args: argparse.Namespace) -> int:
+    """The ``chaos`` subcommand: deterministic serving-chaos scenario.
+
+    Builds an engine with a fast-recovery breaker and a shared
+    :class:`FaultInjector`, starts a real HTTP server on a background
+    thread, runs :func:`repro.serve.chaos.run_chaos` against it, and
+    exits non-zero if any invariant failed.
+    """
+    import json
+    import tempfile
+    import threading
+
+    from repro.runtime.faults import FaultInjector
+    from repro.serve import (
+        BreakerConfig,
+        ChaosConfig,
+        RecommendationServer,
+        ResilienceConfig,
+        run_chaos,
+    )
+
+    faults = FaultInjector(seed=args.seed or 0)
+    resilience = ResilienceConfig(
+        default_deadline_ms=args.deadline_ms,
+        breaker=BreakerConfig(
+            window=16,
+            min_calls=4,
+            failure_threshold=0.5,
+            reset_timeout_s=1.0,
+            half_open_probes=2,
+        ),
+    )
+    engine = _build_engine(args, resilience=resilience, faults=faults)
+    server = RecommendationServer(
+        engine,
+        host="127.0.0.1",
+        port=args.port,
+        max_inflight=args.max_inflight,
+        retry_after_s=0.1,
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    workdir = args.workdir or tempfile.mkdtemp(prefix="repro-chaos-")
+    try:
+        report = run_chaos(server, faults, workdir, ChaosConfig())
+    finally:
+        server.shutdown()
+    print(report.to_markdown())
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    return 0 if report.ok else 1
 
 
 def _run_recommend(args: argparse.Namespace) -> int:
@@ -369,6 +462,53 @@ def build_parser() -> argparse.ArgumentParser:
         dest="metrics_output",
         help="write the serving metrics snapshot (JSON) here on exit",
     )
+    p_sv.add_argument(
+        "--max-inflight",
+        dest="max_inflight",
+        type=int,
+        default=64,
+        help="admitted concurrent scoring requests before load shedding "
+        "(HTTP 503 + Retry-After)",
+    )
+    p_sv.add_argument(
+        "--watch-checkpoints",
+        dest="watch_checkpoints",
+        action="store_true",
+        help="poll the --checkpoint directory and hot-reload newer steps "
+        "(atomic swap with self-check and rollback)",
+    )
+    p_sv.add_argument(
+        "--watch-interval",
+        dest="watch_interval",
+        type=float,
+        default=2.0,
+        help="checkpoint watcher poll interval in seconds (default: 2)",
+    )
+
+    p_ch = sub.add_parser(
+        "chaos",
+        help="serving chaos scenario: faults, shedding, hot reload, recovery",
+    )
+    _add_serving_arguments(p_ch)
+    p_ch.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="port for the chaos target server (default: ephemeral)",
+    )
+    p_ch.add_argument(
+        "--max-inflight",
+        dest="max_inflight",
+        type=int,
+        default=2,
+        help="admission bound of the chaos target (small, to force shedding)",
+    )
+    p_ch.add_argument(
+        "--workdir",
+        default=None,
+        help="scratch directory for reload-phase checkpoint copies",
+    )
+    p_ch.add_argument("--output", help="also write the JSON report here")
 
     p_rc = sub.add_parser(
         "recommend", help="one-shot top-k recommendation from a checkpoint"
@@ -594,6 +734,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_serve(args)
     if args.command == "recommend":
         return _run_recommend(args)
+    if args.command == "chaos":
+        return _run_chaos(args)
     if args.command == "table1":
         result = run_table1(scale=args.scale, seed=args.seed)
     elif args.command == "table2":

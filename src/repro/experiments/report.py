@@ -33,6 +33,7 @@ SECTION_ORDER = (
     "pipeline_throughput",
     "pipeline_prefetch_overlap",
     "compute_core",
+    "resilience",
 )
 
 

@@ -13,10 +13,24 @@ the runtime:
 * ``step`` — :class:`SimulatedPreemption` raised after the Nth training
   step, as if the scheduler sent SIGTERM.
 
-Faults are scheduled deterministically by occurrence index, or drawn
-from a seeded generator (``io_failure_rate``), so every test run sees
-the identical fault sequence.  The injector also records everything it
-triggered (:attr:`FaultInjector.triggered`) for assertions.
+The serving stack (``repro.serve``) adds two sites of its own, hooked
+into the engine's encoder micro-batches:
+
+* ``encode`` — an injected ``RuntimeError`` from the Nth encoder
+  forward (or at ``encode_failure_rate``), as if the model blew up on
+  a bad input.
+* ``encode_slow`` — the Nth encode (or every encode while
+  ``encode_delay_s`` is set) is delayed, as if the host were
+  CPU-starved.  Scheduled slow faults carry their delay in
+  :attr:`Fault.payload`.
+
+The rate/delay attributes are plain mutable floats so a chaos driver
+(:mod:`repro.serve.chaos`) can open and close fault windows
+mid-traffic.  Faults are scheduled deterministically by occurrence
+index, or drawn from a seeded generator (``io_failure_rate``,
+``encode_failure_rate``), so every test run sees the identical fault
+sequence.  The injector also records everything it triggered
+(:attr:`FaultInjector.triggered`) for assertions.
 """
 
 from __future__ import annotations
@@ -28,7 +42,14 @@ from typing import Iterable
 
 import numpy as np
 
-SITES = ("checkpoint_write", "checkpoint_read", "loss", "step")
+SITES = (
+    "checkpoint_write",
+    "checkpoint_read",
+    "loss",
+    "step",
+    "encode",
+    "encode_slow",
+)
 
 
 class SimulatedPreemption(RuntimeError):
@@ -46,10 +67,13 @@ class Fault:
 
     Occurrence indices are 1-based and global across the run (the
     third checkpoint write ever, the tenth loss ever observed, ...).
+    ``payload`` carries per-fault data where the site needs it (the
+    delay in seconds for ``encode_slow``).
     """
 
     site: str
     at: int
+    payload: float | None = None
 
     def __post_init__(self) -> None:
         if self.site not in SITES:
@@ -77,12 +101,22 @@ class FaultInjector:
         self,
         faults: Iterable[Fault] = (),
         io_failure_rate: float = 0.0,
+        encode_failure_rate: float = 0.0,
+        encode_delay_s: float = 0.0,
         seed: int = 0,
     ) -> None:
         self.faults = list(faults)
         if not 0.0 <= io_failure_rate <= 1.0:
             raise ValueError("io_failure_rate must be in [0, 1]")
+        if not 0.0 <= encode_failure_rate <= 1.0:
+            raise ValueError("encode_failure_rate must be in [0, 1]")
+        if encode_delay_s < 0.0:
+            raise ValueError("encode_delay_s must be non-negative")
         self.io_failure_rate = io_failure_rate
+        #: Mutable rate/delay knobs — a chaos driver toggles these to
+        #: open and close serving fault windows mid-traffic.
+        self.encode_failure_rate = encode_failure_rate
+        self.encode_delay_s = encode_delay_s
         self._rng = np.random.default_rng(seed)
         self._counts: dict[str, int] = defaultdict(int)
         self.triggered: list[tuple[str, int]] = []
@@ -110,19 +144,39 @@ class FaultInjector:
         self.faults.append(Fault("step", at))
         return self
 
+    def fail_encode(self, at: int) -> "FaultInjector":
+        """Schedule an injected exception on the ``at``-th encoder forward."""
+        self.faults.append(Fault("encode", at))
+        return self
+
+    def slow_encode(self, at: int, seconds: float) -> "FaultInjector":
+        """Schedule a ``seconds`` delay on the ``at``-th encoder forward."""
+        if seconds < 0.0:
+            raise ValueError(f"delay must be non-negative, got {seconds}")
+        self.faults.append(Fault("encode_slow", at, payload=seconds))
+        return self
+
     # ------------------------------------------------------------------
     # Sites (called by the runtime)
     # ------------------------------------------------------------------
+    def _scheduled(self, site: str, count: int) -> Fault | None:
+        for fault in self.faults:
+            if fault.site == site and fault.at == count:
+                return fault
+        return None
+
     def _visit(self, site: str) -> bool:
         self._counts[site] += 1
         count = self._counts[site]
-        hit = any(f.site == site and f.at == count for f in self.faults)
+        hit = self._scheduled(site, count) is not None
         if (
             not hit
             and self.io_failure_rate > 0.0
             and site in ("checkpoint_write", "checkpoint_read")
         ):
             hit = bool(self._rng.random() < self.io_failure_rate)
+        if not hit and self.encode_failure_rate > 0.0 and site == "encode":
+            hit = bool(self._rng.random() < self.encode_failure_rate)
         if hit:
             self.triggered.append((site, count))
         return hit
@@ -149,6 +203,31 @@ class FaultInjector:
             raise SimulatedPreemption(
                 f"injected preemption after step {self._counts['step']}"
             )
+
+    def on_encode(self) -> None:
+        """Raise an injected ``RuntimeError`` when the encode fault fires."""
+        if self._visit("encode"):
+            raise RuntimeError(
+                f"injected encoder failure at forward {self._counts['encode']}"
+            )
+
+    def encode_delay(self) -> float:
+        """Seconds the current encoder forward should be delayed.
+
+        Scheduled ``encode_slow`` faults (with their per-fault delay
+        payload) win over the ambient ``encode_delay_s`` window knob;
+        returns 0.0 when neither applies.
+        """
+        self._counts["encode_slow"] += 1
+        count = self._counts["encode_slow"]
+        fault = self._scheduled("encode_slow", count)
+        if fault is not None:
+            self.triggered.append(("encode_slow", count))
+            return float(fault.payload or 0.0)
+        if self.encode_delay_s > 0.0:
+            self.triggered.append(("encode_slow", count))
+            return self.encode_delay_s
+        return 0.0
 
     # ------------------------------------------------------------------
     # File corruption helper (for tests)

@@ -10,13 +10,23 @@ one into a recommendation service::
     )
     result = engine.recommend(user=42, k=10)
 
-See ``docs/SERVING.md`` for the architecture and the metrics schema,
-and ``python -m repro serve --help`` for the CLI entry point.
+Serving is resilient by default: per-request deadlines, admission
+control with load shedding, a circuit breaker over encoder scoring
+with a cache → popularity fallback chain, and atomic hot model reload
+(:mod:`repro.serve.resilience`); :mod:`repro.serve.chaos` drives a
+live server through deterministic fault scenarios and asserts the
+invariants hold.
+
+See ``docs/SERVING.md`` for the architecture, the metrics schema and
+the resilience decision table, and ``python -m repro serve --help``
+for the CLI entry point.
 """
 
+from repro.serve.chaos import ChaosConfig, ChaosReport, run_chaos
 from repro.serve.engine import (
     EngineOverloaded,
     LRUCache,
+    ModelSwapError,
     RecommendationEngine,
     sequence_key,
 )
@@ -27,18 +37,46 @@ from repro.serve.requests import (
     RequestError,
     read_requests_file,
 )
-from repro.serve.server import RecommendationServer
+from repro.serve.resilience import (
+    AdmissionController,
+    BreakerConfig,
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    PopularityFallback,
+    ResilienceConfig,
+    ResiliencePolicy,
+    ServingUnavailable,
+    ShedRequest,
+)
+from repro.serve.server import BodyTooLarge, CheckpointWatcher, RecommendationServer
 
 __all__ = [
+    "AdmissionController",
+    "BodyTooLarge",
+    "BreakerConfig",
+    "ChaosConfig",
+    "ChaosReport",
+    "CheckpointWatcher",
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceeded",
     "EngineOverloaded",
     "LRUCache",
     "LatencyHistogram",
+    "ModelSwapError",
+    "PopularityFallback",
     "RecRequest",
     "Recommendation",
     "RecommendationEngine",
     "RecommendationServer",
     "RequestError",
+    "ResilienceConfig",
+    "ResiliencePolicy",
     "ServingMetrics",
+    "ServingUnavailable",
+    "ShedRequest",
     "read_requests_file",
+    "run_chaos",
     "sequence_key",
 ]

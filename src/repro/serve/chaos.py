@@ -1,0 +1,483 @@
+"""Deterministic chaos harness for the serving stack.
+
+Fault-injection tests (PR 3's ``repro.runtime.faults``) prove the
+*training* runtime survives bad disks and preemptions; this module
+does the same for *serving*.  :func:`run_chaos` drives a live
+:class:`~repro.serve.server.RecommendationServer` through a scripted
+sequence of traffic phases while toggling encoder fault windows on a
+shared :class:`~repro.runtime.faults.FaultInjector`:
+
+1. **warmup** — healthy sequential traffic; responses must be full
+   quality (no ``degraded`` tag).
+2. **slow encodes** — the encoder stalls by ``encode_delay_s`` per
+   forward; sequential, so every request still answers (and with a
+   latency-tripped breaker, slowness counts as failure).
+3. **saturation burst** — concurrent clients exceed the admission
+   bound while encodes are still slow; excess requests must be *shed*
+   with a structured 503 + ``Retry-After``, never lost or 500'd.
+4. **encoder failures** — every encoder forward raises; the cache is
+   invalidated first so requests *must* hit the encoder.  The circuit
+   breaker is expected to open and traffic to keep flowing from the
+   popularity fallback (200 + ``"degraded": true``).
+5. **corrupt reload** — ``POST /admin/reload`` pointed at a
+   checksum-corrupted copy of the checkpoint must fail with a
+   structured 500 (``"reason": "swap_failed"``) and leave the serving
+   ``model_version`` untouched.
+6. **live reload mid-traffic** — a valid reload races concurrent
+   requests; every response must carry a ``model_version`` from
+   exactly the before/after generation pair (no half-loaded model).
+7. **recovery** — fault windows close; fresh-sequence probes run until
+   the breaker transitions back to *closed* and answers are full
+   quality again.
+
+The traffic script is deterministic (fixed user/sequence cycles, fault
+windows toggled at phase boundaries, ``encode_failure_rate`` driven at
+1.0); only thread interleaving varies, and every invariant asserted by
+:class:`ChaosReport` is interleaving-independent.  The harness is both
+a pytest fixture target (``tests/serve/test_chaos.py``, marker
+``chaos``) and a CLI (``python -m repro chaos``) wired into the
+``chaos-smoke`` CI job.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import threading
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serve.resilience import BREAKER_CLOSED
+
+__all__ = ["ChaosConfig", "ChaosReport", "Outcome", "run_chaos"]
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Knobs for one chaos run (defaults sized for CI smoke tests)."""
+
+    users: int = 24  #: distinct user ids cycled through by the script
+    k: int = 10
+    warmup_requests: int = 16
+    fault_requests: int = 16
+    slow_requests: int = 6
+    burst_requests: int = 32
+    burst_threads: int = 8
+    recovery_budget_s: float = 15.0  #: max wall time waiting for breaker close
+    deadline_ms: float = 1000.0  #: per-request budget carried by the script
+    encode_delay_s: float = 0.05  #: stall per forward in the slow window
+    p99_budget_ms: float = 2000.0  #: bound on non-shed request latency
+    timeout_s: float = 10.0  #: per-HTTP-call client timeout
+
+
+@dataclass
+class Outcome:
+    """One request's observed fate."""
+
+    phase: str
+    status: int  #: HTTP status; 0 means the request was *lost* (no reply)
+    latency_ms: float
+    reason: str | None = None  #: machine-readable refusal code, if any
+    degraded: bool = False
+    fallback: str | None = None
+    model_version: int | None = None
+    items: int = 0
+
+
+@dataclass
+class ChaosReport:
+    """Everything a chaos run observed, plus the invariant verdicts."""
+
+    outcomes: list[Outcome] = field(default_factory=list)
+    breaker_transitions: list[tuple[str, str]] = field(default_factory=list)
+    model_version_start: int = 0
+    model_version_end: int = 0
+    #: ``(name, ok, detail)`` per invariant checked.
+    invariants: list[tuple[str, bool, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every invariant held."""
+        return all(ok for _, ok, _ in self.invariants)
+
+    def count(self, phase: str | None = None, **match) -> int:
+        outcomes = self.outcomes if phase is None else [
+            o for o in self.outcomes if o.phase == phase
+        ]
+        return sum(
+            1
+            for o in outcomes
+            if all(getattr(o, key) == value for key, value in match.items())
+        )
+
+    def p99_ms(self) -> float:
+        """p99 latency over answered, non-shed requests."""
+        latencies = [
+            o.latency_ms
+            for o in self.outcomes
+            if o.status not in (0, 503) and o.reason != "shed"
+        ]
+        if not latencies:
+            return 0.0
+        return float(np.percentile(np.asarray(latencies), 99))
+
+    def check(self, name: str, ok: bool, detail: str) -> None:
+        self.invariants.append((name, bool(ok), detail))
+
+    def to_dict(self) -> dict:
+        statuses: dict[str, int] = {}
+        reasons: dict[str, int] = {}
+        for outcome in self.outcomes:
+            statuses[str(outcome.status)] = statuses.get(str(outcome.status), 0) + 1
+            if outcome.reason:
+                reasons[outcome.reason] = reasons.get(outcome.reason, 0) + 1
+        return {
+            "ok": self.ok,
+            "requests": len(self.outcomes),
+            "statuses": statuses,
+            "reasons": reasons,
+            "degraded": self.count(degraded=True),
+            "p99_ms": round(self.p99_ms(), 3),
+            "breaker_transitions": [list(t) for t in self.breaker_transitions],
+            "model_version": {
+                "start": self.model_version_start,
+                "end": self.model_version_end,
+            },
+            "invariants": [
+                {"name": name, "ok": ok, "detail": detail}
+                for name, ok, detail in self.invariants
+            ],
+        }
+
+    def to_markdown(self) -> str:
+        lines = [
+            "# Serving chaos report",
+            "",
+            f"Requests: {len(self.outcomes)}  |  degraded: "
+            f"{self.count(degraded=True)}  |  p99 (non-shed): "
+            f"{self.p99_ms():.1f} ms",
+            f"Breaker transitions: "
+            f"{' -> '.join(new for _, new in self.breaker_transitions) or 'none'}",
+            f"Model version: {self.model_version_start} -> {self.model_version_end}",
+            "",
+            "| invariant | verdict | detail |",
+            "|---|---|---|",
+        ]
+        for name, ok, detail in self.invariants:
+            lines.append(f"| {name} | {'PASS' if ok else 'FAIL'} | {detail} |")
+        return "\n".join(lines) + "\n"
+
+
+class _Client:
+    """Tiny urllib JSON client recording :class:`Outcome` rows."""
+
+    def __init__(self, base_url: str, report: ChaosReport, timeout_s: float) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.report = report
+        self.timeout_s = timeout_s
+        self._lock = threading.Lock()
+
+    def post(self, path: str, payload: dict, phase: str) -> Outcome:
+        body = json.dumps(payload).encode()
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=body,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        t0 = time.perf_counter()
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as reply:
+                status = reply.status
+                data = json.loads(reply.read())
+        except urllib.error.HTTPError as error:
+            status = error.code
+            try:
+                data = json.loads(error.read())
+            except (ValueError, OSError):
+                data = {}
+        except (urllib.error.URLError, OSError, TimeoutError):
+            outcome = Outcome(phase=phase, status=0,
+                              latency_ms=(time.perf_counter() - t0) * 1e3)
+            self._record(outcome)
+            return outcome
+        latency_ms = (time.perf_counter() - t0) * 1e3
+        outcome = Outcome(
+            phase=phase,
+            status=status,
+            latency_ms=latency_ms,
+            reason=data.get("reason"),
+            degraded=bool(data.get("degraded", False)),
+            fallback=data.get("fallback"),
+            model_version=data.get("model_version"),
+            items=len(data.get("items", [])),
+        )
+        self._record(outcome)
+        return outcome
+
+    def _record(self, outcome: Outcome) -> None:
+        with self._lock:
+            self.report.outcomes.append(outcome)
+
+
+def _prepare_checkpoints(engine, workdir: str) -> tuple[str | None, str | None]:
+    """(valid_copy, corrupt_copy) archive paths for the reload phases.
+
+    Works whether the engine was loaded from a single archive or a
+    checkpoint-manager directory; returns ``(None, None)`` when the
+    engine was not built from a checkpoint at all.
+    """
+    from repro.runtime.checkpointing import CheckpointManager
+    from repro.runtime.faults import FaultInjector
+
+    source = engine.checkpoint_path
+    if not source:
+        return None, None
+    if os.path.isdir(source):
+        manager = CheckpointManager(source)
+        latest = manager.latest_step()
+        if latest is None:
+            return None, None
+        source = str(manager.path_for(latest))
+    os.makedirs(workdir, exist_ok=True)
+    valid = os.path.join(workdir, "chaos_valid.npz")
+    corrupt = os.path.join(workdir, "chaos_corrupt.npz")
+    for target in (valid, corrupt):
+        shutil.copyfile(source, target)
+        sidecar = source + ".sha256"
+        if os.path.exists(sidecar):
+            shutil.copyfile(sidecar, target + ".sha256")
+    FaultInjector.corrupt_file(corrupt, flip_byte_at=64)
+    return valid, corrupt
+
+
+def run_chaos(server, faults, workdir: str, config: ChaosConfig | None = None) -> ChaosReport:
+    """Run the scripted chaos scenario against a live ``server``.
+
+    ``server`` is a started :class:`~repro.serve.server.
+    RecommendationServer` whose engine was built with ``faults`` (the
+    same :class:`~repro.runtime.faults.FaultInjector` instance — the
+    driver opens and closes its fault windows).  ``workdir`` is a
+    scratch directory for the reload-phase checkpoint copies.  Returns
+    a :class:`ChaosReport`; callers decide whether a failed invariant
+    is fatal (:attr:`ChaosReport.ok`).
+    """
+    config = config if config is not None else ChaosConfig()
+    engine = server.engine
+    if engine.policy is None:
+        raise ValueError("chaos requires an engine with a resilience policy")
+    host, port = server.address
+    client = _Client(f"http://{host}:{port}", ChaosReport(), config.timeout_s)
+    report = client.report
+    report.model_version_start = engine.model_version
+    num_users = min(config.users, engine.dataset.num_users)
+
+    def user_payload(i: int) -> dict:
+        return {
+            "user": i % num_users,
+            "k": config.k,
+            "deadline_ms": config.deadline_ms,
+        }
+
+    def fresh_payload(i: int) -> dict:
+        n = engine.dataset.num_items
+        return {
+            "sequence": [1 + (i % n), 1 + ((i * 7 + 3) % n)],
+            "k": config.k,
+            "deadline_ms": config.deadline_ms,
+        }
+
+    # Phase 1: warmup — healthy traffic, full quality expected.
+    for i in range(config.warmup_requests):
+        client.post("/recommend", user_payload(i), "warmup")
+    warm_ok = report.count("warmup", status=200, degraded=False)
+    report.check(
+        "warmup_full_quality",
+        warm_ok == config.warmup_requests,
+        f"{warm_ok}/{config.warmup_requests} warmup requests served full quality",
+    )
+
+    # Phase 2: slow encodes (stall, don't raise) — the encode_slow
+    # fault site, sequential so every request still answers.
+    faults.encode_delay_s = config.encode_delay_s
+    for i in range(config.slow_requests):
+        client.post("/recommend", fresh_payload(i), "slow_encodes")
+    slow_served = report.count("slow_encodes", status=200)
+    report.check(
+        "slow_window_served",
+        slow_served == config.slow_requests,
+        f"{slow_served}/{config.slow_requests} served during the slow window",
+    )
+
+    # Phase 3: saturation burst while encodes are still slow —
+    # admission slots stay occupied long enough that concurrency
+    # beyond the bound must be shed, not queued or lost.
+    engine.invalidate_cache()
+    with ThreadPoolExecutor(max_workers=config.burst_threads) as pool:
+        futures = [
+            pool.submit(
+                client.post, "/recommend", fresh_payload(1000 + i), "burst"
+            )
+            for i in range(config.burst_requests)
+        ]
+        for future in futures:
+            future.result()
+    faults.encode_delay_s = 0.0
+    burst_lost = report.count("burst", status=0)
+    burst_shed = report.count("burst", reason="shed")
+    burst_accounted = sum(
+        1
+        for o in report.outcomes
+        if o.phase == "burst"
+        and (o.status == 200 or (o.status >= 400 and o.reason))
+    )
+    report.check(
+        "burst_no_lost_requests",
+        burst_lost == 0 and burst_accounted == config.burst_requests,
+        f"{burst_accounted}/{config.burst_requests} accounted for "
+        f"(200 or reasoned 4xx/5xx), {burst_lost} lost",
+    )
+    report.check(
+        "burst_shed_structured",
+        burst_shed > 0
+        or server.admission.max_inflight >= config.burst_threads,
+        f"{burst_shed} requests shed with reason=shed "
+        f"(max_inflight={server.admission.max_inflight})",
+    )
+
+    # Phase 4: every encoder forward fails; traffic must degrade, not die.
+    faults.encode_failure_rate = 1.0
+    engine.invalidate_cache()
+    for i in range(config.fault_requests):
+        client.post("/recommend", user_payload(i), "encoder_failures")
+    served = report.count("encoder_failures", status=200)
+    degraded = report.count("encoder_failures", status=200, degraded=True)
+    report.check(
+        "failures_degrade_not_500",
+        served == config.fault_requests and degraded > 0,
+        f"{served}/{config.fault_requests} served, {degraded} degraded "
+        f"under 100% encoder failure",
+    )
+    report.check(
+        "breaker_opened",
+        any(new == "open" for _, new in engine.policy.breaker.transitions),
+        f"transitions: {engine.policy.breaker.transitions}",
+    )
+    faults.encode_failure_rate = 0.0
+
+    # Phase 5 + 6: reload chaos (skipped when no checkpoint to reload).
+    valid_ckpt, corrupt_ckpt = _prepare_checkpoints(engine, workdir)
+    if corrupt_ckpt is not None:
+        version_before = engine.model_version
+        outcome = client.post(
+            "/admin/reload", {"checkpoint": corrupt_ckpt}, "corrupt_reload"
+        )
+        report.check(
+            "corrupt_reload_refused",
+            outcome.status == 500
+            and outcome.reason == "swap_failed"
+            and engine.model_version == version_before,
+            f"status={outcome.status} reason={outcome.reason} "
+            f"version {version_before} -> {engine.model_version}",
+        )
+    if valid_ckpt is not None:
+        version_before = engine.model_version
+        stop_traffic = threading.Event()
+
+        def background_traffic() -> None:
+            i = 0
+            while not stop_traffic.is_set():
+                client.post("/recommend", user_payload(i), "reload_traffic")
+                i += 1
+
+        traffic = threading.Thread(target=background_traffic, daemon=True)
+        traffic.start()
+        reload_outcome = client.post(
+            "/admin/reload", {"checkpoint": valid_ckpt}, "live_reload"
+        )
+        stop_traffic.set()
+        traffic.join(timeout=config.timeout_s)
+        versions = {
+            o.model_version
+            for o in report.outcomes
+            if o.phase == "reload_traffic" and o.status == 200
+        }
+        report.check(
+            "live_reload_succeeded",
+            reload_outcome.status == 200
+            and engine.model_version == version_before + 1,
+            f"status={reload_outcome.status} "
+            f"version {version_before} -> {engine.model_version}",
+        )
+        report.check(
+            "no_half_loaded_model",
+            versions <= {version_before, version_before + 1},
+            f"observed model versions during reload: {sorted(v for v in versions if v is not None)}",
+        )
+
+    # Phase 7: recovery — faults cleared; fresh-sequence probes until
+    # the breaker closes again (bounded by the recovery budget).
+    faults.encode_failure_rate = 0.0
+    faults.encode_delay_s = 0.0
+    deadline = time.monotonic() + config.recovery_budget_s
+    i = 0
+    while (
+        engine.policy.breaker.state != BREAKER_CLOSED
+        and time.monotonic() < deadline
+    ):
+        client.post("/recommend", fresh_payload(5000 + i), "recovery")
+        i += 1
+        time.sleep(0.05)
+    # A few post-recovery requests must be full quality again.
+    tail_ok = 0
+    for j in range(4):
+        outcome = client.post("/recommend", fresh_payload(9000 + j), "recovered")
+        if outcome.status == 200 and not outcome.degraded:
+            tail_ok += 1
+    report.check(
+        "breaker_recovered",
+        engine.policy.breaker.state == BREAKER_CLOSED and tail_ok == 4,
+        f"breaker={engine.policy.breaker.state}, "
+        f"{tail_ok}/4 post-recovery requests full quality",
+    )
+
+    # Global invariants.
+    lost = report.count(status=0)
+    unexplained = sum(
+        1 for o in report.outcomes if o.status >= 400 and not o.reason
+    )
+    report.check(
+        "all_requests_accounted",
+        lost == 0 and unexplained == 0,
+        f"{len(report.outcomes)} requests, {lost} lost, "
+        f"{unexplained} errors without a reason code",
+    )
+    p99 = report.p99_ms()
+    report.check(
+        "p99_bounded",
+        p99 <= config.p99_budget_ms,
+        f"p99 of answered non-shed requests {p99:.1f} ms "
+        f"(budget {config.p99_budget_ms:g} ms)",
+    )
+    malformed = sum(
+        1
+        for o in report.outcomes
+        if o.status == 200 and o.phase != "corrupt_reload"
+        and o.items == 0 and o.reason is None
+        and o.phase not in ("live_reload",)
+    )
+    report.check(
+        "success_payloads_well_formed",
+        malformed == 0,
+        f"{malformed} 200-responses carried no items",
+    )
+
+    report.breaker_transitions = list(engine.policy.breaker.transitions)
+    report.model_version_end = engine.model_version
+    return report

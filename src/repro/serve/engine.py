@@ -18,6 +18,17 @@ module turns it into something that can serve traffic:
   evaluation protocol bit-for-bit (ties-free inputs).
 * **Metrics** — every stage is timed into
   :class:`repro.serve.metrics.ServingMetrics`.
+* **Resilience** — a :class:`~repro.serve.resilience.ResiliencePolicy`
+  (on by default) adds per-request deadlines, a circuit breaker around
+  encoder scoring, and a degraded-mode fallback chain: exact-sequence
+  representation cache → global popularity.  Fallback answers are
+  tagged ``degraded`` with a per-tier counter; requests that cannot be
+  served at all come back with machine-readable reason codes instead
+  of exceptions (``recommend_batch(..., on_error="report")``).
+* **Hot reload** — :meth:`swap_model` atomically swaps in new weights
+  from a PR-1 checkpoint: checksum-verified load, self-check probe,
+  generation counter bump, representation-cache invalidation, and
+  rollback to the previous weights on any failure.
 
 Models that only expose ``score_sequences`` (e.g. SR-GNN) are served
 through a fallback backend: no precomputed matrix, the cache then holds
@@ -27,6 +38,7 @@ full score rows instead of representations.
 from __future__ import annotations
 
 import os
+import time
 from collections import OrderedDict
 
 import numpy as np
@@ -34,14 +46,51 @@ import numpy as np
 from repro.data.preprocessing import SequenceDataset
 from repro.eval.topk import top_k_indices
 from repro.nn.serialization import CheckpointError
+from repro.runtime.faults import FaultInjector
 from repro.serve.metrics import ServingMetrics
 from repro.serve.requests import Recommendation, RecRequest, RequestError
+from repro.serve.resilience import (
+    BREAKER_CLOSED,
+    BREAKER_STATE_CODES,
+    REASON_BAD_REQUEST,
+    REASON_DEADLINE,
+    DeadlineExceeded,
+    PopularityFallback,
+    ResilienceConfig,
+    ResiliencePolicy,
+)
 
 _NEG_INF = -np.inf
 
+#: Sentinel: "build the default resilience policy" (pass ``None`` to
+#: run the engine without deadlines/breaker/fallback, as PR 2 did).
+_DEFAULT_RESILIENCE = object()
+
+#: Counters pre-registered so ``/metrics`` shows the resilience schema
+#: before the first incident.
+_RESILIENCE_COUNTERS = (
+    "requests_degraded",
+    "fallback_cache",
+    "fallback_popularity",
+    "deadline_exceeded",
+    "encode_errors",
+    "breaker_transitions",
+    "model_swaps",
+    "model_swap_failures",
+    "model_swap_rollbacks",
+)
+
 
 class EngineOverloaded(RuntimeError):
-    """The bounded request queue is full; shed load or flush first."""
+    """The bounded request queue is full; shed load or flush first.
+
+    The HTTP front-end maps this to a structured 503 with reason
+    ``"queue_full"`` and a ``Retry-After`` hint.
+    """
+
+
+class ModelSwapError(RuntimeError):
+    """A hot model reload failed; the previous weights keep serving."""
 
 
 def sequence_key(sequence: np.ndarray) -> bytes:
@@ -80,6 +129,50 @@ class LRUCache:
         self._data.clear()
 
 
+def _load_model_state(checkpoint: str | os.PathLike) -> tuple[dict, int | None]:
+    """Model state dict + source step from a checkpoint path.
+
+    ``checkpoint`` is a :class:`~repro.runtime.checkpointing.
+    CheckpointManager` directory (newest *valid* archive wins, corrupt
+    ones are skipped) or a single ``.npz`` archive.  Archives are
+    checksum-verified on read; corruption raises
+    :class:`~repro.nn.serialization.CheckpointError` instead of
+    loading garbage.
+    """
+    checkpoint = os.fspath(checkpoint)
+    step: int | None = None
+    if os.path.isdir(checkpoint):
+        from repro.runtime.checkpointing import CheckpointManager
+
+        recovered = CheckpointManager(checkpoint).load_latest_valid()
+        if recovered is None:
+            raise CheckpointError(
+                f"{checkpoint}: no valid checkpoint archive found"
+            )
+        step, payload = recovered
+    else:
+        from repro.runtime.checkpointing import read_archive
+
+        payload = read_archive(checkpoint)
+    state = {
+        name[len("model/") :]: values
+        for name, values in payload.items()
+        if name.startswith("model/")
+    }
+    if not state:
+        # A bare state_dict archive (no section prefixes).
+        state = {
+            name: values
+            for name, values in payload.items()
+            if "/" not in name
+        }
+    if not state:
+        raise CheckpointError(
+            f"{checkpoint}: archive holds no model parameters"
+        )
+    return state, step
+
+
 class RecommendationEngine:
     """Serve top-k recommendations from a fitted (or checkpointed) model.
 
@@ -107,6 +200,20 @@ class RecommendationEngine:
         i.e. the full known history).
     metrics:
         Optionally share a :class:`ServingMetrics` across engines.
+    resilience:
+        The resilience layer: a
+        :class:`~repro.serve.resilience.ResilienceConfig` (or a
+        prebuilt :class:`~repro.serve.resilience.ResiliencePolicy`,
+        e.g. with a fake clock in tests).  Defaults to the standard
+        policy; pass ``None`` to disable deadlines, the encoder
+        circuit breaker and the fallback chain entirely.
+    faults:
+        Optional :class:`~repro.runtime.faults.FaultInjector` hooked
+        into the encoder forward (``encode`` / ``encode_slow`` sites)
+        for chaos testing.
+    observer:
+        Optional :class:`repro.obs.RunObserver`; breaker transitions
+        and model swaps are emitted as structured events.
     """
 
     def __init__(
@@ -118,6 +225,9 @@ class RecommendationEngine:
         max_queue: int = 8192,
         split: str = "test",
         metrics: ServingMetrics | None = None,
+        resilience=_DEFAULT_RESILIENCE,
+        faults: FaultInjector | None = None,
+        observer=None,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be positive, got {max_batch_size}")
@@ -130,6 +240,32 @@ class RecommendationEngine:
         self.split = split
         self.metrics = metrics if metrics is not None else ServingMetrics()
         self.cache = LRUCache(cache_size)
+        self.faults = faults
+        self.observer = observer
+        #: Weight generation counter, bumped by every successful
+        #: :meth:`swap_model`; stamped onto every response.
+        self.model_version = 1
+        #: Source of the weights currently serving (set by
+        #: :meth:`from_checkpoint` / :meth:`swap_model`); the default
+        #: reload target of ``POST /admin/reload``.
+        self.checkpoint_path: str | None = None
+        self._popularity_fallback: PopularityFallback | None = None
+
+        if resilience is None or resilience is False:
+            self.policy: ResiliencePolicy | None = None
+        elif isinstance(resilience, ResiliencePolicy):
+            self.policy = resilience
+        elif isinstance(resilience, ResilienceConfig):
+            self.policy = ResiliencePolicy(resilience)
+        else:
+            self.policy = ResiliencePolicy()
+        if self.policy is not None:
+            self.metrics.touch(*_RESILIENCE_COUNTERS)
+            self.metrics.set_gauge(
+                "breaker_state", BREAKER_STATE_CODES[self.policy.breaker.state]
+            )
+            self.metrics.set_gauge("model_version", self.model_version)
+            self.policy.breaker.on_transition = self._on_breaker_transition
 
         has_representation_api = hasattr(model, "encode_sequences") and hasattr(
             model, "item_embedding_matrix"
@@ -182,35 +318,7 @@ class RecommendationEngine:
         float32-trained checkpoint serves in float32 without flags.
         """
         checkpoint = os.fspath(checkpoint)
-        if os.path.isdir(checkpoint):
-            from repro.runtime.checkpointing import CheckpointManager
-
-            recovered = CheckpointManager(checkpoint).load_latest_valid()
-            if recovered is None:
-                raise CheckpointError(
-                    f"{checkpoint}: no valid checkpoint archive found"
-                )
-            __, payload = recovered
-        else:
-            from repro.runtime.checkpointing import read_archive
-
-            payload = read_archive(checkpoint)
-        state = {
-            name[len("model/") :]: values
-            for name, values in payload.items()
-            if name.startswith("model/")
-        }
-        if not state:
-            # A bare state_dict archive (no section prefixes).
-            state = {
-                name: values
-                for name, values in payload.items()
-                if "/" not in name
-            }
-        if not state:
-            raise CheckpointError(
-                f"{checkpoint}: archive holds no model parameters"
-            )
+        state, __ = _load_model_state(checkpoint)
         if dtype is None and hasattr(model, "to_dtype"):
             # Adopt the checkpoint's precision: if every stored float
             # array is float32 the run was trained in float32 — keep
@@ -231,7 +339,150 @@ class RecommendationEngine:
                 f"{checkpoint}: checkpoint does not fit this model "
                 f"(was it trained with a different configuration?): {error}"
             ) from error
-        return cls(model, dataset, **engine_kwargs)
+        engine = cls(model, dataset, **engine_kwargs)
+        engine.checkpoint_path = checkpoint
+        return engine
+
+    # ------------------------------------------------------------------
+    # Hot model reload
+    # ------------------------------------------------------------------
+    def swap_model(
+        self, checkpoint: str | os.PathLike, probe: bool = True
+    ) -> dict:
+        """Atomically swap in new weights from ``checkpoint``.
+
+        The swap is crash-safe against bad checkpoints at every stage:
+
+        1. the archive is checksum-verified and parsed *before* the
+           live model is touched (a corrupt file never reaches the
+           weights);
+        2. a mismatched state dict restores the previous weights and
+           raises :class:`CheckpointError`;
+        3. with ``probe`` (default) the swapped model must pass a
+           self-check — one probe sequence encoded and scored, finite
+           values, correct shapes — or the previous weights and item
+           matrix are rolled back and :class:`ModelSwapError` raised.
+
+        On success the item matrix is rebuilt, the representation
+        cache invalidated, and :attr:`model_version` bumped — the
+        generation counter lets clients observe which weights answered
+        (``"model_version"`` in responses, ``/health``, metrics).
+
+        Not safe against concurrent :meth:`recommend_batch` calls; the
+        HTTP server serializes reloads with requests behind its lock.
+
+        Returns ``{"model_version", "step", "checkpoint"}``.
+        """
+        checkpoint = os.fspath(checkpoint)
+        try:
+            state, step = _load_model_state(checkpoint)
+        except CheckpointError:
+            self.metrics.increment("model_swap_failures")
+            self._obs_event("model_swap_failed", checkpoint=checkpoint,
+                            stage="load", model_version=self.model_version)
+            raise
+
+        previous = {
+            name: np.copy(values)
+            for name, values in self.model.state_dict().items()
+        }
+        try:
+            self.model.load_state_dict(state)
+        except Exception as error:
+            # load_state_dict may have partially applied; restore.
+            self.model.load_state_dict(previous)
+            self.metrics.increment("model_swap_failures")
+            self._obs_event("model_swap_failed", checkpoint=checkpoint,
+                            stage="state_dict", model_version=self.model_version)
+            raise CheckpointError(
+                f"{checkpoint}: checkpoint does not fit this model "
+                f"(was it trained with a different configuration?): {error}"
+            ) from error
+
+        try:
+            new_matrix = None
+            if self._item_matrix is not None:
+                new_matrix = np.ascontiguousarray(
+                    self.model.item_embedding_matrix(self.dataset.num_items)
+                )
+            if probe:
+                self._self_check(new_matrix)
+        except Exception as error:
+            self.model.load_state_dict(previous)
+            self.metrics.increment("model_swap_failures")
+            self.metrics.increment("model_swap_rollbacks")
+            self._obs_event("model_swap_rollback", checkpoint=checkpoint,
+                            model_version=self.model_version)
+            raise ModelSwapError(
+                f"model swap from {checkpoint} failed its self-check "
+                f"(previous weights restored): {error}"
+            ) from error
+
+        # Publish: everything below is cheap pointer/counter work, so a
+        # request never observes new weights with a stale item matrix
+        # or cache.
+        if new_matrix is not None:
+            self._item_matrix = new_matrix
+        self.invalidate_cache()
+        self.model_version += 1
+        self.checkpoint_path = checkpoint
+        self.metrics.increment("model_swaps")
+        self.metrics.set_gauge("model_version", self.model_version)
+        self._obs_event(
+            "model_swap",
+            checkpoint=checkpoint,
+            step=step,
+            model_version=self.model_version,
+        )
+        return {
+            "model_version": self.model_version,
+            "step": step,
+            "checkpoint": checkpoint,
+        }
+
+    def _probe_sequence(self) -> np.ndarray:
+        """A real user history (fallback: item 1) for self-check probes."""
+        for user in range(min(self.dataset.num_users, 4)):
+            sequence = np.asarray(
+                self.dataset.full_sequence(user, split=self.split)
+            )
+            if sequence.size:
+                return sequence
+        return np.asarray([min(1, self.dataset.num_items)], dtype=np.int64)
+
+    def _self_check(self, item_matrix: np.ndarray | None) -> None:
+        """Probe the (swapped) model end to end; raise on anything off."""
+        sequence = self._probe_sequence()
+        if item_matrix is not None:
+            representation = np.asarray(self.model.encode_sequences([sequence]))
+            if (
+                representation.ndim != 2
+                or representation.shape[1] != item_matrix.shape[1]
+                or not np.all(np.isfinite(representation))
+            ):
+                raise ModelSwapError(
+                    "probe produced a non-finite or misshapen representation"
+                )
+            scores = representation @ item_matrix.T
+        else:
+            scores = np.asarray(
+                self.model.score_sequences([sequence], self.dataset.num_items)
+            )
+        if scores.shape[-1] != self.dataset.num_items + 1 or not np.all(
+            np.isfinite(scores)
+        ):
+            raise ModelSwapError(
+                "probe produced non-finite or misshapen scores"
+            )
+
+    def _obs_event(self, name: str, **fields) -> None:
+        if self.observer is not None:
+            self.observer.event(name, **fields)
+
+    def _on_breaker_transition(self, old: str, new: str) -> None:
+        self.metrics.increment("breaker_transitions")
+        self.metrics.set_gauge("breaker_state", BREAKER_STATE_CODES[new])
+        self._obs_event("breaker_transition", old=old, new=new)
 
     # ------------------------------------------------------------------
     # One-shot and batched serving
@@ -242,6 +493,7 @@ class RecommendationEngine:
         sequence=None,
         k: int = 10,
         exclude_seen: bool = True,
+        deadline_ms: float | None = None,
     ) -> Recommendation:
         """Serve a single request (convenience over :meth:`recommend_batch`)."""
         request = RecRequest(
@@ -249,20 +501,69 @@ class RecommendationEngine:
             sequence=tuple(sequence) if sequence is not None else None,
             k=k,
             exclude_seen=exclude_seen,
+            deadline_ms=deadline_ms,
         )
         return self.recommend_batch([request])[0]
 
-    def recommend_batch(self, requests: list[RecRequest]) -> list[Recommendation]:
-        """Serve many requests at once: dedupe, encode, score, select."""
+    def recommend_batch(
+        self,
+        requests: list[RecRequest],
+        started: float | None = None,
+        on_error: str = "raise",
+    ) -> list[Recommendation]:
+        """Serve many requests at once: dedupe, encode, score, select.
+
+        ``started`` anchors deadline budgets (monotonic clock) at the
+        moment the request entered the system — pass the HTTP arrival
+        time so queueing counts against the budget; defaults to now.
+
+        ``on_error`` controls unservable requests: ``"raise"``
+        (default, the PR-2 behaviour) raises
+        :class:`~repro.serve.requests.RequestError` /
+        :class:`~repro.serve.resilience.DeadlineExceeded` on the first
+        offender; ``"report"`` returns a per-item
+        :class:`~repro.serve.requests.Recommendation` carrying the
+        reason code instead, so one bad request cannot fail a batch.
+        """
         if not requests:
             return []
+        if on_error not in ("raise", "report"):
+            raise ValueError(f"on_error must be 'raise' or 'report', got {on_error!r}")
+        report = on_error == "report"
+        clock = self.policy.clock if self.policy is not None else time.monotonic
+        start = started if started is not None else clock()
+        n = len(requests)
+        errors: list[tuple[str, str] | None] = [None] * n
         with self.metrics.time_stage("total"):
             with self.metrics.time_stage("resolve"):
-                sequences, exclusions = self._resolve(requests)
-            keys = [sequence_key(seq) for seq in sequences]
-            rows, cached_flags = self._compute_rows(keys, sequences)
+                sequences, exclusions = self._resolve(requests, errors, report)
+            deadlines: list = [None] * n
+            if self.policy is not None:
+                for i, request in enumerate(requests):
+                    if errors[i] is not None:
+                        continue
+                    deadline = self.policy.deadline_for(request, start)
+                    deadlines[i] = deadline
+                    if deadline is not None and deadline.expired():
+                        detail = (
+                            "deadline expired before scoring started "
+                            f"(budget {request.deadline_ms or self.policy.config.default_deadline_ms:g}ms)"
+                        )
+                        self.metrics.increment("deadline_exceeded")
+                        if not report:
+                            raise DeadlineExceeded(detail)
+                        errors[i] = (REASON_DEADLINE, detail)
+            keys = [
+                sequence_key(sequences[i]) if errors[i] is None else None
+                for i in range(n)
+            ]
+            rows, cached_flags, tiers = self._compute_rows(
+                keys, sequences, deadlines, errors
+            )
             with self.metrics.time_stage("topk"):
-                results = self._select_batch(requests, rows, exclusions, cached_flags)
+                results = self._select_batch(
+                    requests, rows, exclusions, cached_flags, tiers, errors
+                )
         self.metrics.increment("requests", len(requests))
         self.metrics.increment("batches")
         return results
@@ -316,7 +617,9 @@ class RecommendationEngine:
         ]
         keys = [sequence_key(seq) for seq in sequences]
         before = self.metrics.counters.get("sequences_encoded", 0)
-        self._compute_rows(keys, sequences)
+        self._compute_rows(
+            keys, sequences, [None] * len(keys), [None] * len(keys)
+        )
         return self.metrics.counters.get("sequences_encoded", 0) - before
 
     def invalidate_cache(self) -> None:
@@ -327,83 +630,201 @@ class RecommendationEngine:
     # Pipeline stages
     # ------------------------------------------------------------------
     def _resolve(
-        self, requests: list[RecRequest]
-    ) -> tuple[list[np.ndarray], list[np.ndarray | None]]:
-        """Request → (history sequence, excluded item ids or None)."""
-        sequences: list[np.ndarray] = []
-        exclusions: list[np.ndarray | None] = []
-        for request in requests:
-            if request.user is not None:
-                user = int(request.user)
-                if not 0 <= user < self.dataset.num_users:
-                    raise RequestError(
-                        f"user {user} out of range [0, {self.dataset.num_users})"
+        self,
+        requests: list[RecRequest],
+        errors: list,
+        report: bool,
+    ) -> tuple[list, list]:
+        """Request → (history sequence, excluded item ids or None).
+
+        With ``report`` a malformed request records a per-item
+        ``bad_request`` error instead of raising.
+        """
+        sequences: list = [None] * len(requests)
+        exclusions: list = [None] * len(requests)
+        for i, request in enumerate(requests):
+            try:
+                if request.user is not None:
+                    user = int(request.user)
+                    if not 0 <= user < self.dataset.num_users:
+                        raise RequestError(
+                            f"user {user} out of range [0, {self.dataset.num_users})"
+                        )
+                    sequence = np.asarray(
+                        self.dataset.full_sequence(user, split=self.split)
                     )
-                sequence = np.asarray(
-                    self.dataset.full_sequence(user, split=self.split)
-                )
-                excluded = (
-                    self.dataset.seen_items(user) if request.exclude_seen else None
-                )
-            else:
-                sequence = np.asarray(request.sequence, dtype=np.int64)
-                if sequence.min() < 0 or sequence.max() > self.dataset.num_items:
-                    raise RequestError(
-                        f"sequence item ids must be in [0, "
-                        f"{self.dataset.num_items}]"
+                    excluded = (
+                        self.dataset.seen_items(user)
+                        if request.exclude_seen
+                        else None
                     )
-                excluded = np.unique(sequence) if request.exclude_seen else None
-            sequences.append(sequence)
-            exclusions.append(excluded)
+                else:
+                    sequence = np.asarray(request.sequence, dtype=np.int64)
+                    if sequence.min() < 0 or sequence.max() > self.dataset.num_items:
+                        raise RequestError(
+                            f"sequence item ids must be in [0, "
+                            f"{self.dataset.num_items}]"
+                        )
+                    excluded = (
+                        np.unique(sequence) if request.exclude_seen else None
+                    )
+            except RequestError as error:
+                if not report:
+                    raise
+                errors[i] = (REASON_BAD_REQUEST, str(error))
+                continue
+            sequences[i] = sequence
+            exclusions[i] = excluded
         return sequences, exclusions
 
+    def _popularity(self) -> PopularityFallback:
+        """The tier-2 popularity scores, built lazily on first degrade."""
+        if self._popularity_fallback is None:
+            self._popularity_fallback = PopularityFallback(self.dataset)
+        return self._popularity_fallback
+
     def _compute_rows(
-        self, keys: list[bytes], sequences: list[np.ndarray]
-    ) -> tuple[list[np.ndarray], list[bool]]:
+        self,
+        keys: list,
+        sequences: list,
+        deadlines: list,
+        errors: list,
+    ) -> tuple[list, list[bool], list]:
         """Per-request cached arrays (representations or score rows).
 
         Deduplicates within the batch, encodes only cache misses in
         micro-batches, and records hit/miss counters per request.
+        With a resilience policy, encoding is gated behind the circuit
+        breaker and each request's deadline budget; requests that
+        cannot afford (or are refused) an encoder forward degrade to
+        the fallback chain — exact-sequence cache when present,
+        popularity otherwise.  Returns ``(rows, cached_flags, tiers)``
+        where ``tiers[i]`` is ``None`` (full quality), ``"cache"`` or
+        ``"popularity"``.
         """
-        cached_flags = [False] * len(keys)
-        misses: dict[bytes, np.ndarray] = {}
-        for i, key in enumerate(keys):
-            if key in self.cache:
+        n = len(keys)
+        cached_flags = [False] * n
+        tiers: list = [None] * n
+        live = [i for i in range(n) if errors[i] is None]
+        hit_idx: list[int] = []
+        groups: dict[bytes, list[int]] = {}
+        for i in live:
+            if keys[i] in self.cache:
                 cached_flags[i] = True
-            elif key in misses:
+                hit_idx.append(i)
+                self.metrics.record_cache(True)
+            else:
+                groups.setdefault(keys[i], []).append(i)
+
+        # Decide, per distinct missing sequence, whether an encoder
+        # forward is allowed: breaker first (one gate per batch, so a
+        # half-open probe admits one micro-batched attempt), then the
+        # deadline economics of the requests wanting it.
+        misses: dict[bytes, np.ndarray] = {}
+        breaker_gate: bool | None = None
+        for key, idxs in groups.items():
+            allowed = True
+            if self.policy is not None:
+                if breaker_gate is None:
+                    breaker_gate = self.policy.breaker.allow()
+                allowed = breaker_gate and any(
+                    not self.policy.encode_would_blow(deadlines[i])
+                    for i in idxs
+                )
+            if allowed:
+                misses[key] = sequences[idxs[0]]
+            else:
+                for i in idxs:
+                    tiers[i] = "popularity"
+            self.metrics.record_cache(False)
+            for i in idxs[1:]:
                 cached_flags[i] = True  # coalesced with an earlier request
                 self.metrics.increment("coalesced_requests")
-            else:
-                misses[key] = sequences[i]
-            self.metrics.record_cache(cached_flags[i])
+                self.metrics.record_cache(True)
 
+        failed_keys: set[bytes] = set()
         if misses:
             miss_keys = list(misses)
             miss_sequences = list(misses.values())
+            encoded_count = 0
             with self.metrics.time_stage("encode"):
-                for start in range(0, len(miss_sequences), self.max_batch_size):
-                    chunk = miss_sequences[start : start + self.max_batch_size]
-                    encoded = self._encode(chunk)
+                for chunk_start in range(0, len(miss_sequences), self.max_batch_size):
+                    chunk_keys = miss_keys[
+                        chunk_start : chunk_start + self.max_batch_size
+                    ]
+                    chunk = miss_sequences[
+                        chunk_start : chunk_start + self.max_batch_size
+                    ]
+                    t0 = time.perf_counter()
+                    try:
+                        encoded = self._encode(chunk)
+                    except Exception:
+                        latency = time.perf_counter() - t0
+                        self.metrics.increment("encode_errors")
+                        if self.policy is None:
+                            raise
+                        self.policy.record_encode(False, latency)
+                        failed_keys.update(chunk_keys)
+                        continue
+                    latency = time.perf_counter() - t0
+                    if self.policy is not None:
+                        self.policy.record_encode(True, latency)
                     for offset, row in enumerate(encoded):
-                        self.cache.put(miss_keys[start + offset], row)
-            self.metrics.increment("sequences_encoded", len(miss_sequences))
+                        self.cache.put(chunk_keys[offset], row)
+                    encoded_count += len(chunk)
+            self.metrics.increment("sequences_encoded", encoded_count)
+        for key in failed_keys:
+            for i in groups[key]:
+                tiers[i] = "popularity"
 
-        rows: list[np.ndarray] = []
+        # Under an open (or probing) breaker the whole batch runs in
+        # degraded mode: cache hits are tier-1 fallback answers.
+        if (
+            self.policy is not None
+            and self.policy.breaker.state != BREAKER_CLOSED
+        ):
+            for i in hit_idx:
+                tiers[i] = "cache"
+
+        # Assemble per-request rows; popularity rows are shared and
+        # copied only by the scoring matrix construction downstream.
+        rows: list = [None] * n
+        scored_idx = [i for i in live if tiers[i] != "popularity"]
         if self._item_matrix is not None:
-            representations = np.stack([self.cache.get(key) for key in keys])
-            with self.metrics.time_stage("score"):
-                scored = representations @ self._item_matrix.T
-            self.metrics.increment("items_scored", scored.size)
-            rows = list(scored)
+            if scored_idx:
+                representations = np.stack(
+                    [self.cache.get(keys[i]) for i in scored_idx]
+                )
+                with self.metrics.time_stage("score"):
+                    scored = representations @ self._item_matrix.T
+                self.metrics.increment("items_scored", scored.size)
+                for j, i in enumerate(scored_idx):
+                    rows[i] = scored[j]
         else:
-            rows = [self.cache.get(key) for key in keys]
+            for i in scored_idx:
+                rows[i] = self.cache.get(keys[i])
             self.metrics.increment(
-                "items_scored", sum(len(row) for row in rows)
+                "items_scored", sum(len(rows[i]) for i in scored_idx)
             )
-        return rows, cached_flags
+        pop_idx = [i for i in live if tiers[i] == "popularity"]
+        if pop_idx:
+            pop_row = self._popularity().score_row()
+            for i in pop_idx:
+                rows[i] = pop_row
+            self.metrics.increment("items_scored", pop_row.size * len(pop_idx))
+        for i in live:
+            if tiers[i] is not None:
+                self.metrics.increment("requests_degraded")
+                self.metrics.increment(f"fallback_{tiers[i]}")
+        return rows, cached_flags, tiers
 
     def _encode(self, sequences: list[np.ndarray]) -> np.ndarray:
-        """One micro-batch through the model."""
+        """One micro-batch through the model (chaos fault sites live here)."""
+        if self.faults is not None:
+            self.faults.on_encode()
+            delay = self.faults.encode_delay()
+            if delay > 0.0:
+                time.sleep(delay)
         if self._item_matrix is not None:
             return np.asarray(self.model.encode_sequences(sequences))
         return np.asarray(
@@ -413,33 +834,55 @@ class RecommendationEngine:
     def _select_batch(
         self,
         requests: list[RecRequest],
-        rows: list[np.ndarray],
-        exclusions: list[np.ndarray | None],
+        rows: list,
+        exclusions: list,
         cached_flags: list[bool],
+        tiers: list,
+        errors: list,
     ) -> list[Recommendation]:
         """Mask ineligible items and partial-sort top-k, batched."""
-        scores = np.array(rows, dtype=np.float64)
-        scores[:, 0] = _NEG_INF  # padding id is never a candidate
-        row_idx = np.concatenate(
-            [np.full(len(e), i) for i, e in enumerate(exclusions) if e is not None]
-            or [np.empty(0, dtype=np.int64)]
-        )
-        col_idx = np.concatenate(
-            [e for e in exclusions if e is not None]
-            or [np.empty(0, dtype=np.int64)]
-        )
-        scores[row_idx.astype(np.int64), col_idx.astype(np.int64)] = _NEG_INF
-        max_k = min(max(r.k for r in requests), scores.shape[1])
-        top = top_k_indices(scores, max_k)
-        results = []
-        for i, request in enumerate(requests):
-            row_top = top[i][np.isfinite(scores[i, top[i]])][: request.k]
-            results.append(
-                Recommendation(
-                    items=row_top,
-                    scores=scores[i, row_top],
-                    request=request,
-                    cached=cached_flags[i],
-                )
+        n = len(requests)
+        results: list = [None] * n
+        live = [i for i in range(n) if errors[i] is None]
+        if live:
+            scores = np.array([rows[i] for i in live], dtype=np.float64)
+            scores[:, 0] = _NEG_INF  # padding id is never a candidate
+            live_exclusions = [exclusions[i] for i in live]
+            row_idx = np.concatenate(
+                [
+                    np.full(len(e), j)
+                    for j, e in enumerate(live_exclusions)
+                    if e is not None
+                ]
+                or [np.empty(0, dtype=np.int64)]
             )
+            col_idx = np.concatenate(
+                [e for e in live_exclusions if e is not None]
+                or [np.empty(0, dtype=np.int64)]
+            )
+            scores[row_idx.astype(np.int64), col_idx.astype(np.int64)] = _NEG_INF
+            max_k = min(max(requests[i].k for i in live), scores.shape[1])
+            top = top_k_indices(scores, max_k)
+            for j, i in enumerate(live):
+                row_top = top[j][np.isfinite(scores[j, top[j]])][: requests[i].k]
+                results[i] = Recommendation(
+                    items=row_top,
+                    scores=scores[j, row_top],
+                    request=requests[i],
+                    cached=cached_flags[i],
+                    degraded=tiers[i] is not None,
+                    fallback=tiers[i],
+                    model_version=self.model_version,
+                )
+        for i in range(n):
+            if errors[i] is not None:
+                reason, detail = errors[i]
+                results[i] = Recommendation(
+                    items=np.empty(0, dtype=np.int64),
+                    scores=np.empty(0, dtype=np.float64),
+                    request=requests[i],
+                    error=reason,
+                    detail=detail,
+                    model_version=self.model_version,
+                )
         return results

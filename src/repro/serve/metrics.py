@@ -68,6 +68,20 @@ class ServingMetrics:
         """Bump counter ``name`` (created at zero on first use)."""
         self.registry.increment(name, by)
 
+    def touch(self, *names: str) -> None:
+        """Create counters at zero so they appear in ``/metrics`` early.
+
+        The resilience layer pre-registers its counters
+        (``requests_shed``, ``requests_degraded``, ...) so dashboards
+        and schema checks see them before the first incident.
+        """
+        for name in names:
+            self.registry.counter(name)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Overwrite gauge ``name`` (created on first use)."""
+        self.registry.gauge(name).set(value)
+
     def record_cache(self, hit: bool) -> None:
         """Count one user-representation cache lookup."""
         self.increment("user_cache_hits" if hit else "user_cache_misses")
@@ -106,6 +120,10 @@ class ServingMetrics:
         return {
             "uptime_seconds": time.time() - self.started_at,
             "counters": self.counters,
+            "gauges": {
+                name: gauge.value
+                for name, gauge in self.registry.gauges.items()
+            },
             "cache": {
                 "hits": self._count("user_cache_hits"),
                 "misses": self._count("user_cache_misses"),

@@ -7,35 +7,149 @@ implementation and keeps the repo dependency-free.  Endpoints:
   (``{"user": 42, "k": 10}`` or ``{"sequence": [3, 1, 7]}``).
 * ``POST /recommend/batch`` — body is ``{"requests": [...]}``; the
   whole batch is scored in one engine call (one micro-batched encode).
+  Per-item failures are reported in place (``"reason"`` codes) rather
+  than failing the batch.
+* ``POST /admin/reload`` — hot-swap model weights from a checkpoint
+  (body ``{"checkpoint": path}``; defaults to the path the engine was
+  loaded from).  See :meth:`RecommendationEngine.swap_model`.
 * ``GET /metrics`` — the :class:`~repro.serve.metrics.ServingMetrics`
   snapshot as JSON.
-* ``GET /health`` — liveness probe with model/catalogue info.
+* ``GET /health`` — liveness probe with model/catalogue/resilience info.
 
 Requests are handled on threads (``ThreadingHTTPServer``) but scoring
 is serialized through one lock: the numpy engine is CPU-bound anyway,
-and the engine's caches are not thread-safe.
+and the engine's caches are not thread-safe.  Because of that lock, the
+server *sheds* load instead of queueing it invisibly: beyond
+``max_inflight`` concurrently admitted scoring requests, clients get a
+structured 503 with a ``Retry-After`` hint (see
+:class:`~repro.serve.resilience.AdmissionController`).
+
+Every error — on GET and POST alike — is a structured JSON envelope
+``{"error": <human text>, "reason": <machine code>}``; the full
+status/reason decision table lives in ``docs/SERVING.md``.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from repro.serve.engine import RecommendationEngine
+from repro.nn.serialization import CheckpointError
+from repro.serve.engine import EngineOverloaded, ModelSwapError, RecommendationEngine
 from repro.serve.requests import RecRequest, RequestError
+from repro.serve.resilience import (
+    REASON_QUEUE_FULL,
+    AdmissionController,
+    ServingUnavailable,
+)
 
 #: Refuse request bodies beyond this size (1 MiB) to bound memory.
 MAX_BODY_BYTES = 1 << 20
+
+#: Machine-readable reason codes used directly by the HTTP layer
+#: (engine-level codes live in :mod:`repro.serve.resilience`).
+REASON_BODY_TOO_LARGE = "body_too_large"
+REASON_SWAP_FAILED = "swap_failed"
+REASON_INTERNAL = "internal"
+REASON_NOT_FOUND = "not_found"
+
+
+class BodyTooLarge(RequestError):
+    """Request body exceeds :data:`MAX_BODY_BYTES`; mapped to HTTP 413."""
+
+
+class CheckpointWatcher(threading.Thread):
+    """Poll a checkpoint directory and hot-reload newer steps.
+
+    The deployment story behind ``repro serve --watch-checkpoints``: a
+    trainer writes rotated archives into a
+    :class:`~repro.runtime.checkpointing.CheckpointManager` directory
+    while the server polls ``latest_step()``; when a newer step
+    appears, the server swaps it in behind its request lock.  Failed
+    swaps (corrupt archive, probe failure) leave the old weights
+    serving and are not retried until an even newer step shows up —
+    the failure is visible in the ``model_swap_failures`` counter.
+    """
+
+    def __init__(
+        self,
+        server: "RecommendationServer",
+        directory: str,
+        interval_s: float = 2.0,
+    ) -> None:
+        super().__init__(name="checkpoint-watcher", daemon=True)
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be positive, got {interval_s}")
+        self.server = server
+        self.directory = directory
+        self.interval_s = interval_s
+        self._stop = threading.Event()
+        # Steps already on disk are what the engine serves (or chose to
+        # skip) — only steps appearing after the watcher starts trigger
+        # a reload.
+        from repro.runtime.checkpointing import CheckpointManager
+
+        try:
+            self._seen_step: int | None = CheckpointManager(
+                directory
+            ).latest_step()
+        except OSError:
+            self._seen_step = None
+
+    def run(self) -> None:
+        from repro.runtime.checkpointing import CheckpointManager
+
+        manager = CheckpointManager(self.directory)
+        while not self._stop.is_set():
+            self.poll_once(manager)
+            self._stop.wait(self.interval_s)
+
+    def poll_once(self, manager=None) -> bool:
+        """One poll step (separated out for deterministic tests)."""
+        if manager is None:
+            from repro.runtime.checkpointing import CheckpointManager
+
+            manager = CheckpointManager(self.directory)
+        try:
+            latest = manager.latest_step()
+        except OSError:
+            return False
+        if latest is None or latest == self._seen_step:
+            return False
+        self._seen_step = latest
+        try:
+            self.server.reload(str(manager.path_for(latest)))
+        except (CheckpointError, ModelSwapError, OSError):
+            return False  # old weights keep serving; counter records it
+        return True
+
+    def stop(self) -> None:
+        self._stop.set()
 
 
 class RecommendationServer:
     """Serve an engine over HTTP (see module docstring for endpoints)."""
 
-    def __init__(self, engine: RecommendationEngine, host: str = "127.0.0.1",
-                 port: int = 8080) -> None:
+    def __init__(
+        self,
+        engine: RecommendationEngine,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        max_inflight: int = 64,
+        retry_after_s: float = 1.0,
+    ) -> None:
         self.engine = engine
         self._lock = threading.Lock()
+        self.admission = AdmissionController(
+            max_inflight=max_inflight,
+            retry_after_s=retry_after_s,
+            metrics=engine.metrics,
+        )
+        engine.metrics.touch("requests_shed")
+        self._watcher: CheckpointWatcher | None = None
+        self._serving = threading.Event()
         handler = _make_handler(self)
         self.httpd = ThreadingHTTPServer((host, port), handler)
         self.httpd.daemon_threads = True
@@ -45,40 +159,91 @@ class RecommendationServer:
         """The bound ``(host, port)`` (useful with ``port=0``)."""
         return self.httpd.server_address[:2]
 
-    def handle_single(self, payload: dict) -> dict:
+    def _now(self) -> float:
+        """Monotonic arrival stamp on the engine's (possibly fake) clock."""
+        policy = self.engine.policy
+        return policy.clock() if policy is not None else time.monotonic()
+
+    def handle_single(self, payload: dict, started: float | None = None) -> dict:
         """Score one request object (the ``/recommend`` body)."""
         request = RecRequest.from_dict(payload)
-        with self._lock:
-            return self.engine.recommend_batch([request])[0].to_dict()
+        with self.admission.admit():
+            with self._lock:
+                result = self.engine.recommend_batch(
+                    [request], started=started
+                )[0]
+        return result.to_dict()
 
-    def handle_batch(self, payload: dict) -> dict:
-        """Score a ``{"requests": [...]}`` batch in one engine call."""
+    def handle_batch(self, payload: dict, started: float | None = None) -> dict:
+        """Score a ``{"requests": [...]}`` batch in one engine call.
+
+        Individual failures (bad request, blown deadline) come back as
+        per-item ``{"error", "reason"}`` entries so one poisoned item
+        cannot fail its neighbours.
+        """
         if not isinstance(payload, dict) or "requests" not in payload:
             raise RequestError('batch body must be {"requests": [...]}')
         items = payload["requests"]
         if not isinstance(items, list):
             raise RequestError('"requests" must be a list')
         requests = [RecRequest.from_dict(item) for item in items]
-        with self._lock:
-            results = self.engine.recommend_batch(requests)
+        with self.admission.admit():
+            with self._lock:
+                results = self.engine.recommend_batch(
+                    requests, started=started, on_error="report"
+                )
         return {"results": [r.to_dict() for r in results]}
+
+    def reload(self, checkpoint: str | None = None) -> dict:
+        """Hot-swap model weights (the ``/admin/reload`` body handler)."""
+        target = checkpoint or self.engine.checkpoint_path
+        if not target:
+            raise RequestError(
+                "no checkpoint to reload: engine was not built from a "
+                'checkpoint; pass {"checkpoint": <path>}'
+            )
+        with self._lock:
+            info = self.engine.swap_model(target)
+        return {"status": "reloaded", **info}
 
     def health(self) -> dict:
         """Liveness payload for ``/health``."""
-        return {
+        payload = {
             "status": "ok",
             "model": type(self.engine.model).__name__,
             "num_items": self.engine.dataset.num_items,
             "num_users": self.engine.dataset.num_users,
+            "model_version": self.engine.model_version,
+            "inflight": self.admission.inflight,
         }
+        if self.engine.policy is not None:
+            payload["breaker"] = self.engine.policy.breaker.state
+        if self.engine.checkpoint_path:
+            payload["checkpoint"] = self.engine.checkpoint_path
+        return payload
+
+    def watch_checkpoints(self, directory: str, interval_s: float = 2.0) -> None:
+        """Start the background :class:`CheckpointWatcher` on ``directory``."""
+        if self._watcher is not None:
+            raise RuntimeError("a checkpoint watcher is already running")
+        self._watcher = CheckpointWatcher(self, directory, interval_s=interval_s)
+        self._watcher.start()
 
     def serve_forever(self) -> None:
         """Block serving requests until :meth:`shutdown`."""
+        self._serving.set()
         self.httpd.serve_forever()
 
     def shutdown(self) -> None:
-        """Stop the listener and release the socket."""
-        self.httpd.shutdown()
+        """Stop the listener (and checkpoint watcher) and release the socket."""
+        if self._watcher is not None:
+            self._watcher.stop()
+            self._watcher.join(timeout=5.0)
+            self._watcher = None
+        # BaseServer.shutdown blocks forever unless serve_forever has run;
+        # a server that was constructed but never served just closes.
+        if self._serving.is_set():
+            self.httpd.shutdown()
         self.httpd.server_close()
 
 
@@ -89,43 +254,127 @@ def _make_handler(server: RecommendationServer) -> type[BaseHTTPRequestHandler]:
         def log_message(self, format: str, *args) -> None:  # noqa: A002
             pass  # keep stdout clean; metrics cover observability
 
-        def _reply(self, status: int, payload: dict) -> None:
+        def _reply(
+            self,
+            status: int,
+            payload: dict,
+            retry_after_s: float | None = None,
+        ) -> None:
             body = json.dumps(payload).encode()
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
+            if retry_after_s is not None:
+                self.send_header("Retry-After", f"{retry_after_s:g}")
             self.end_headers()
             self.wfile.write(body)
 
         def _read_json(self) -> dict:
             length = int(self.headers.get("Content-Length", 0))
             if length > MAX_BODY_BYTES:
-                raise RequestError(f"request body over {MAX_BODY_BYTES} bytes")
+                raise BodyTooLarge(
+                    f"request body of {length} bytes exceeds the "
+                    f"{MAX_BODY_BYTES}-byte limit"
+                )
+            # rfile.read(n) may return fewer than n bytes on a socket;
+            # keep reading until the declared Content-Length arrives.
+            chunks: list[bytes] = []
+            remaining = length
+            while remaining > 0:
+                chunk = self.rfile.read(remaining)
+                if not chunk:
+                    raise RequestError(
+                        f"truncated request body: expected {length} bytes, "
+                        f"got {length - remaining}"
+                    )
+                chunks.append(chunk)
+                remaining -= len(chunk)
             try:
-                return json.loads(self.rfile.read(length) or b"{}")
+                return json.loads(b"".join(chunks) or b"{}")
             except json.JSONDecodeError as error:
                 raise RequestError(f"invalid JSON body: {error}") from error
 
+        def _guarded(self, handler) -> None:
+            """Run ``handler()`` inside the structured error envelope.
+
+            One mapping for GET and POST alike: no path may leak a raw
+            traceback or an unexplained status to a client.
+            """
+            try:
+                handler()
+            except BodyTooLarge as error:
+                self._reply(
+                    413, {"error": str(error), "reason": REASON_BODY_TOO_LARGE}
+                )
+            except RequestError as error:
+                self._reply(400, {"error": str(error), "reason": "bad_request"})
+            except ServingUnavailable as error:
+                # Shed (503) and deadline-exceeded (504) refusals.
+                self._reply(
+                    error.status,
+                    {"error": str(error), "reason": error.reason},
+                    retry_after_s=error.retry_after_s,
+                )
+            except EngineOverloaded as error:
+                self._reply(
+                    503,
+                    {"error": str(error), "reason": REASON_QUEUE_FULL},
+                    retry_after_s=server.admission.retry_after_s,
+                )
+            except (CheckpointError, ModelSwapError) as error:
+                self._reply(
+                    500,
+                    {
+                        "error": f"{type(error).__name__}: {error}",
+                        "reason": REASON_SWAP_FAILED,
+                    },
+                )
+            except Exception as error:  # noqa: BLE001 - don't kill the server
+                self._reply(
+                    500,
+                    {
+                        "error": f"{type(error).__name__}: {error}",
+                        "reason": REASON_INTERNAL,
+                    },
+                )
+
         def do_GET(self) -> None:  # noqa: N802 - http.server API
+            self._guarded(self._route_get)
+
+        def _route_get(self) -> None:
             if self.path == "/metrics":
                 self._reply(200, server.engine.metrics.snapshot())
             elif self.path == "/health":
                 self._reply(200, server.health())
             else:
-                self._reply(404, {"error": f"unknown path {self.path}"})
+                self._reply(
+                    404,
+                    {
+                        "error": f"unknown path {self.path}",
+                        "reason": REASON_NOT_FOUND,
+                    },
+                )
 
         def do_POST(self) -> None:  # noqa: N802 - http.server API
-            try:
-                payload = self._read_json()
-                if self.path == "/recommend":
-                    self._reply(200, server.handle_single(payload))
-                elif self.path == "/recommend/batch":
-                    self._reply(200, server.handle_batch(payload))
-                else:
-                    self._reply(404, {"error": f"unknown path {self.path}"})
-            except RequestError as error:
-                self._reply(400, {"error": str(error)})
-            except Exception as error:  # noqa: BLE001 - don't kill the server
-                self._reply(500, {"error": f"{type(error).__name__}: {error}"})
+            started = server._now()
+            self._guarded(lambda: self._route_post(started))
+
+        def _route_post(self, started: float) -> None:
+            payload = self._read_json()
+            if self.path == "/recommend":
+                self._reply(200, server.handle_single(payload, started=started))
+            elif self.path == "/recommend/batch":
+                self._reply(200, server.handle_batch(payload, started=started))
+            elif self.path == "/admin/reload":
+                checkpoint = payload.get("checkpoint") if payload else None
+                self._reply(200, server.reload(checkpoint))
+            else:
+                self._reply(
+                    404,
+                    {
+                        "error": f"unknown path {self.path}",
+                        "reason": REASON_NOT_FOUND,
+                    },
+                )
 
     return Handler

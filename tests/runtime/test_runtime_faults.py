@@ -62,6 +62,59 @@ class TestScheduledFaults:
         assert math.isnan(injector.loss_value(1.0))
 
 
+class TestServingFaultSites:
+    def test_scheduled_encode_failure_fires_once(self):
+        injector = FaultInjector().fail_encode(at=2)
+        injector.on_encode()
+        with pytest.raises(RuntimeError, match="injected encoder failure"):
+            injector.on_encode()
+        injector.on_encode()  # one-shot
+        assert ("encode", 2) in injector.triggered
+
+    def test_encode_failure_rate_is_seeded(self):
+        def pattern(seed):
+            injector = FaultInjector(encode_failure_rate=0.4, seed=seed)
+            hits = []
+            for __ in range(40):
+                try:
+                    injector.on_encode()
+                    hits.append(False)
+                except RuntimeError:
+                    hits.append(True)
+            return hits
+
+        assert pattern(3) == pattern(3)
+        assert any(pattern(3)) and not all(pattern(3))
+        assert pattern(3) != pattern(4)
+
+    def test_scheduled_slow_encode_carries_delay_payload(self):
+        injector = FaultInjector().slow_encode(at=2, seconds=0.25)
+        assert injector.encode_delay() == 0.0
+        assert injector.encode_delay() == 0.25
+        assert injector.encode_delay() == 0.0
+        assert ("encode_slow", 2) in injector.triggered
+
+    def test_ambient_delay_window_toggles(self):
+        injector = FaultInjector()
+        assert injector.encode_delay() == 0.0
+        injector.encode_delay_s = 0.1  # a chaos driver opens the window
+        assert injector.encode_delay() == 0.1
+        injector.encode_delay_s = 0.0  # ... and closes it
+        assert injector.encode_delay() == 0.0
+
+    def test_scheduled_delay_wins_over_ambient(self):
+        injector = FaultInjector(encode_delay_s=0.1).slow_encode(at=1, seconds=0.5)
+        assert injector.encode_delay() == 0.5
+
+    def test_rate_and_delay_validation(self):
+        with pytest.raises(ValueError):
+            FaultInjector(encode_failure_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultInjector(encode_delay_s=-1.0)
+        with pytest.raises(ValueError):
+            FaultInjector().slow_encode(at=1, seconds=-0.5)
+
+
 class TestRandomIOFaults:
     def test_same_seed_same_failures(self, tmp_path):
         def failure_pattern(seed):

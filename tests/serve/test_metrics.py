@@ -76,11 +76,21 @@ class TestServingMetrics:
             metrics.record_cache(False)
         snap = metrics.snapshot()
         assert set(snap) == {
-            "uptime_seconds", "counters", "cache", "throughput", "latency"
+            "uptime_seconds", "counters", "gauges", "cache", "throughput",
+            "latency",
         }
         assert snap["cache"] == {"hits": 0, "misses": 1, "hit_rate": 0.0}
         assert "total" in snap["latency"]
         assert snap["throughput"]["requests_per_second"] >= 0.0
+
+    def test_touch_and_gauges(self):
+        metrics = ServingMetrics()
+        metrics.touch("requests_shed", "requests_degraded")
+        metrics.set_gauge("breaker_state", 2)
+        snap = metrics.snapshot()
+        assert snap["counters"]["requests_shed"] == 0
+        assert snap["counters"]["requests_degraded"] == 0
+        assert snap["gauges"]["breaker_state"] == 2
 
     def test_to_json_round_trips(self):
         metrics = ServingMetrics()

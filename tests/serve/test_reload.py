@@ -1,0 +1,169 @@
+"""Hot model reload: atomic swap, self-check rollback, versioning."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentScale
+from repro.models.registry import build_model
+from repro.nn.serialization import CheckpointError
+from repro.runtime.checkpointing import CheckpointManager, write_archive
+from repro.runtime.faults import FaultInjector
+from repro.serve.engine import ModelSwapError, RecommendationEngine
+from repro.serve.server import CheckpointWatcher, RecommendationServer
+
+SCALE = ExperimentScale(epochs=1, dim=16, batch_size=32, max_length=12)
+
+
+@pytest.fixture(scope="module")
+def sasrec(tiny_dataset):
+    model = build_model("SASRec", tiny_dataset, SCALE)
+    model.fit(tiny_dataset)
+    return model
+
+
+@pytest.fixture(scope="module")
+def other_sasrec(tiny_dataset):
+    model = build_model(
+        "SASRec", tiny_dataset, SCALE.with_overrides(seed=SCALE.seed + 1)
+    )
+    model.fit(tiny_dataset)
+    return model
+
+
+def save_checkpoint(manager, step, model):
+    manager.save(step, {f"model/{k}": v for k, v in model.state_dict().items()})
+
+
+@pytest.fixture()
+def checkpoint_dir(tmp_path, sasrec):
+    manager = CheckpointManager(tmp_path / "ckpts")
+    save_checkpoint(manager, 1, sasrec)
+    return tmp_path / "ckpts"
+
+
+@pytest.fixture()
+def engine(checkpoint_dir, tiny_dataset):
+    fresh = build_model("SASRec", tiny_dataset, SCALE)
+    return RecommendationEngine.from_checkpoint(
+        checkpoint_dir, fresh, tiny_dataset, max_batch_size=8, cache_size=32
+    )
+
+
+class TestSwapModel:
+    def test_swap_changes_answers_and_bumps_version(
+        self, engine, checkpoint_dir, other_sasrec, tiny_dataset
+    ):
+        before = engine.recommend(user=0, k=10)
+        assert before.model_version == 1
+        manager = CheckpointManager(checkpoint_dir)
+        save_checkpoint(manager, 2, other_sasrec)
+        info = engine.swap_model(checkpoint_dir)
+        assert info["model_version"] == 2
+        assert info["step"] == 2
+        assert engine.model_version == 2
+        after = engine.recommend(user=0, k=10)
+        assert after.model_version == 2
+        expected = other_sasrec.recommend(tiny_dataset, 0, k=10)
+        assert np.array_equal(expected, after.items)
+
+    def test_swap_invalidates_cache(self, engine, checkpoint_dir, other_sasrec):
+        engine.recommend(user=0)
+        assert len(engine.cache) > 0
+        save_checkpoint(CheckpointManager(checkpoint_dir), 2, other_sasrec)
+        engine.swap_model(checkpoint_dir)
+        assert len(engine.cache) == 0
+
+    def test_swap_single_archive(self, engine, tmp_path, other_sasrec, tiny_dataset):
+        path = tmp_path / "new.npz"
+        write_archive(path, other_sasrec.state_dict())
+        info = engine.swap_model(path)
+        assert info["step"] is None
+        assert engine.checkpoint_path == str(path)
+        expected = other_sasrec.recommend(tiny_dataset, 3, k=5)
+        assert np.array_equal(expected, engine.recommend(user=3, k=5).items)
+
+    def test_corrupt_checkpoint_refused_before_touching_weights(
+        self, engine, tmp_path, other_sasrec
+    ):
+        path = tmp_path / "new.npz"
+        write_archive(path, other_sasrec.state_dict())
+        FaultInjector.corrupt_file(path, flip_byte_at=32)
+        before = engine.recommend(user=0, k=10)
+        with pytest.raises(CheckpointError):
+            engine.swap_model(path)
+        assert engine.model_version == 1
+        assert engine.metrics.counters["model_swap_failures"] == 1
+        after = engine.recommend(user=0, k=10)
+        assert np.array_equal(before.items, after.items)
+
+    def test_mismatched_checkpoint_rolls_back(self, engine, tmp_path, tiny_dataset):
+        wrong = build_model(
+            "SASRec",
+            tiny_dataset,
+            ExperimentScale(epochs=1, dim=32, max_length=12),
+        )
+        path = tmp_path / "wrong.npz"
+        write_archive(path, wrong.state_dict())
+        before = engine.recommend(user=0, k=10)
+        with pytest.raises(CheckpointError, match="does not fit"):
+            engine.swap_model(path)
+        assert engine.model_version == 1
+        assert np.array_equal(before.items, engine.recommend(user=0, k=10).items)
+
+    def test_nan_checkpoint_fails_self_check_and_rolls_back(
+        self, engine, tmp_path, other_sasrec
+    ):
+        state = {
+            name: np.full_like(np.asarray(values), np.nan)
+            for name, values in other_sasrec.state_dict().items()
+        }
+        path = tmp_path / "nan.npz"
+        write_archive(path, state)
+        before = engine.recommend(user=0, k=10)
+        with pytest.raises(ModelSwapError, match="self-check"):
+            engine.swap_model(path)
+        assert engine.model_version == 1
+        assert engine.metrics.counters["model_swap_rollbacks"] == 1
+        assert engine.metrics.counters["model_swap_failures"] == 1
+        after = engine.recommend(user=0, k=10)
+        assert np.array_equal(before.items, after.items)
+        assert np.all(np.isfinite(after.scores))
+
+    def test_swap_counters(self, engine, checkpoint_dir, other_sasrec):
+        save_checkpoint(CheckpointManager(checkpoint_dir), 2, other_sasrec)
+        engine.swap_model(checkpoint_dir)
+        assert engine.metrics.counters["model_swaps"] == 1
+        snap = engine.metrics.snapshot()
+        assert snap["gauges"]["model_version"] == 2
+
+
+class TestCheckpointWatcher:
+    def test_poll_reloads_newer_step(
+        self, engine, checkpoint_dir, other_sasrec, tiny_dataset
+    ):
+        server = RecommendationServer(engine, port=0)
+        try:
+            watcher = CheckpointWatcher(server, str(checkpoint_dir))
+            assert watcher.poll_once() is False  # step 1 is what we serve
+            save_checkpoint(CheckpointManager(checkpoint_dir), 2, other_sasrec)
+            assert watcher.poll_once() is True
+            assert engine.model_version == 2
+            assert watcher.poll_once() is False  # nothing newer
+        finally:
+            server.shutdown()
+
+    def test_poll_survives_corrupt_checkpoint(
+        self, engine, checkpoint_dir, other_sasrec
+    ):
+        server = RecommendationServer(engine, port=0)
+        try:
+            watcher = CheckpointWatcher(server, str(checkpoint_dir))
+            watcher.poll_once()
+            manager = CheckpointManager(checkpoint_dir)
+            save_checkpoint(manager, 2, other_sasrec)
+            FaultInjector.corrupt_file(manager.path_for(2), flip_byte_at=16)
+            assert watcher.poll_once() is False
+            assert engine.model_version == 1  # old weights keep serving
+            assert engine.recommend(user=0).items.size > 0
+        finally:
+            server.shutdown()

@@ -1,0 +1,319 @@
+"""Unit tests for :mod:`repro.serve.resilience` (fake-clock throughout)."""
+
+import numpy as np
+import pytest
+
+from repro.serve.metrics import ServingMetrics
+from repro.serve.resilience import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    AdmissionController,
+    BreakerConfig,
+    CircuitBreaker,
+    Deadline,
+    PopularityFallback,
+    ResilienceConfig,
+    ResiliencePolicy,
+    ShedRequest,
+)
+
+
+class FakeClock:
+    """A monotonic clock the test advances by hand."""
+
+    def __init__(self, start: float = 100.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# ----------------------------------------------------------------------
+# Deadline
+# ----------------------------------------------------------------------
+class TestDeadline:
+    def test_remaining_counts_down(self):
+        clock = FakeClock()
+        deadline = Deadline.from_ms(50.0, clock=clock)
+        assert deadline.remaining() == pytest.approx(0.05)
+        clock.advance(0.03)
+        assert deadline.remaining() == pytest.approx(0.02)
+        assert not deadline.expired()
+        clock.advance(0.03)
+        assert deadline.expired()
+
+    def test_start_anchor(self):
+        clock = FakeClock()
+        deadline = Deadline.from_ms(100.0, clock=clock, start=clock.now - 0.2)
+        # The budget was spent before the deadline object was built.
+        assert deadline.expired()
+
+    def test_rejects_non_positive_budget(self):
+        with pytest.raises(ValueError):
+            Deadline(0.0)
+        with pytest.raises(ValueError):
+            Deadline(-1.0)
+
+
+# ----------------------------------------------------------------------
+# Admission control
+# ----------------------------------------------------------------------
+class TestAdmissionController:
+    def test_sheds_beyond_capacity(self):
+        metrics = ServingMetrics()
+        admission = AdmissionController(
+            max_inflight=2, retry_after_s=0.5, metrics=metrics
+        )
+        first = admission.admit()
+        second = admission.admit()
+        first.__enter__()
+        second.__enter__()
+        assert admission.inflight == 2
+        with pytest.raises(ShedRequest) as info:
+            with admission.admit():
+                pass
+        assert info.value.status == 503
+        assert info.value.reason == "shed"
+        assert info.value.retry_after_s == 0.5
+        assert metrics.counters["requests_shed"] == 1
+        first.__exit__(None, None, None)
+        second.__exit__(None, None, None)
+        assert admission.inflight == 0
+        with admission.admit():  # capacity is back
+            assert admission.inflight == 1
+
+    def test_release_on_exception(self):
+        admission = AdmissionController(max_inflight=1)
+        with pytest.raises(RuntimeError):
+            with admission.admit():
+                raise RuntimeError("boom")
+        assert admission.inflight == 0
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_inflight=0)
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker state machine
+# ----------------------------------------------------------------------
+def make_breaker(clock, **overrides):
+    config = BreakerConfig(
+        **{
+            "window": 8,
+            "min_calls": 4,
+            "failure_threshold": 0.5,
+            "reset_timeout_s": 5.0,
+            "half_open_probes": 2,
+            **overrides,
+        }
+    )
+    return CircuitBreaker(config, clock=clock)
+
+
+class TestCircuitBreaker:
+    def test_stays_closed_below_min_calls(self):
+        breaker = make_breaker(FakeClock())
+        for _ in range(3):
+            breaker.record(False)
+        assert breaker.state == BREAKER_CLOSED
+
+    def test_opens_on_failure_rate(self):
+        breaker = make_breaker(FakeClock())
+        breaker.record(True)
+        breaker.record(True)
+        breaker.record(False)
+        assert breaker.state == BREAKER_CLOSED
+        breaker.record(False)  # 2/4 bad == threshold
+        assert breaker.state == BREAKER_OPEN
+        assert breaker.transitions == [(BREAKER_CLOSED, BREAKER_OPEN)]
+
+    def test_open_refuses_until_reset_timeout(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(4):
+            breaker.record(False)
+        assert not breaker.allow()
+        clock.advance(4.9)
+        assert not breaker.allow()
+        clock.advance(0.2)
+        assert breaker.allow()  # first half-open probe
+        assert breaker.state == BREAKER_HALF_OPEN
+
+    def test_half_open_bounds_probes(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(4):
+            breaker.record(False)
+        clock.advance(6.0)
+        assert breaker.allow()
+        assert breaker.allow()
+        assert not breaker.allow()  # only half_open_probes admitted
+
+    def test_probe_successes_close_and_clear_window(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(4):
+            breaker.record(False)
+        clock.advance(6.0)
+        assert breaker.allow()
+        breaker.record(True)
+        assert breaker.state == BREAKER_HALF_OPEN
+        assert breaker.allow()
+        breaker.record(True)
+        assert breaker.state == BREAKER_CLOSED
+        # The pre-trip window must not linger: one new failure should
+        # not immediately re-open.
+        breaker.record(False)
+        assert breaker.state == BREAKER_CLOSED
+
+    def test_probe_failure_reopens_and_restarts_timer(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(4):
+            breaker.record(False)
+        clock.advance(6.0)
+        assert breaker.allow()
+        breaker.record(False)
+        assert breaker.state == BREAKER_OPEN
+        clock.advance(4.0)  # timer restarted at the probe failure
+        assert not breaker.allow()
+        clock.advance(1.5)
+        assert breaker.allow()
+
+    def test_latency_threshold_counts_slow_as_bad(self):
+        breaker = make_breaker(FakeClock(), latency_threshold_s=0.1)
+        for _ in range(4):
+            breaker.record(True, latency_s=0.5)  # alive but uselessly slow
+        assert breaker.state == BREAKER_OPEN
+
+    def test_straggler_after_trip_is_ignored(self):
+        breaker = make_breaker(FakeClock())
+        for _ in range(4):
+            breaker.record(False)
+        assert breaker.state == BREAKER_OPEN
+        breaker.record(True)  # a call that was in flight during the trip
+        assert breaker.state == BREAKER_OPEN
+
+    def test_on_transition_callback(self):
+        seen = []
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        breaker.on_transition = lambda old, new: seen.append((old, new))
+        for _ in range(4):
+            breaker.record(False)
+        clock.advance(6.0)
+        breaker.allow()
+        breaker.record(True)
+        breaker.record(True)
+        assert seen == [
+            (BREAKER_CLOSED, BREAKER_OPEN),
+            (BREAKER_OPEN, BREAKER_HALF_OPEN),
+            (BREAKER_HALF_OPEN, BREAKER_CLOSED),
+        ]
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            BreakerConfig(window=0)
+        with pytest.raises(ValueError):
+            BreakerConfig(failure_threshold=0.0)
+        with pytest.raises(ValueError):
+            BreakerConfig(failure_threshold=1.5)
+        with pytest.raises(ValueError):
+            BreakerConfig(reset_timeout_s=0.0)
+
+
+# ----------------------------------------------------------------------
+# Popularity fallback
+# ----------------------------------------------------------------------
+class TestPopularityFallback:
+    def test_scores_follow_counts(self, tiny_dataset):
+        fallback = PopularityFallback(tiny_dataset)
+        row = fallback.score_row()
+        assert row.shape == (tiny_dataset.num_items + 1,)
+        assert row[0] == 0.0  # padding never recommended
+        counts = np.zeros(tiny_dataset.num_items + 1)
+        for sequence in tiny_dataset.train_sequences:
+            np.add.at(counts, sequence, 1.0)
+        popular = int(np.argmax(counts[1:])) + 1
+        assert int(np.argmax(row[1:])) + 1 == popular
+
+    def test_deterministic_tie_break(self, tiny_dataset):
+        a = PopularityFallback(tiny_dataset).score_row()
+        b = PopularityFallback(tiny_dataset).score_row()
+        np.testing.assert_array_equal(a, b)
+        # Among equal counts the lower item id must score higher.
+        order = np.argsort(-a[1:])
+        assert len(np.unique(a[1:])) == a[1:].size  # epsilon made all distinct
+        assert order.size == a[1:].size
+
+
+# ----------------------------------------------------------------------
+# Policy: deadlines + EWMA encode cost
+# ----------------------------------------------------------------------
+class TestResiliencePolicy:
+    def test_deadline_for_prefers_request_budget(self):
+        clock = FakeClock()
+        policy = ResiliencePolicy(
+            ResilienceConfig(default_deadline_ms=200.0), clock=clock
+        )
+
+        class Req:
+            deadline_ms = 50.0
+
+        deadline = policy.deadline_for(Req(), start=clock.now)
+        assert deadline.remaining() == pytest.approx(0.05)
+
+    def test_deadline_for_falls_back_to_default(self):
+        clock = FakeClock()
+        policy = ResiliencePolicy(
+            ResilienceConfig(default_deadline_ms=200.0), clock=clock
+        )
+
+        class Req:
+            deadline_ms = None
+
+        deadline = policy.deadline_for(Req(), start=clock.now)
+        assert deadline.remaining() == pytest.approx(0.2)
+
+    def test_no_deadline_when_neither_set(self):
+        policy = ResiliencePolicy(ResilienceConfig(), clock=FakeClock())
+
+        class Req:
+            deadline_ms = None
+
+        assert policy.deadline_for(Req(), start=0.0) is None
+
+    def test_encode_would_blow_uses_margin(self):
+        clock = FakeClock()
+        policy = ResiliencePolicy(
+            ResilienceConfig(encode_cost_margin=2.0), clock=clock
+        )
+        policy.record_encode(True, 0.04)  # estimate = 40ms
+        tight = Deadline.from_ms(50.0, clock=clock)  # 50 < 2 * 40
+        loose = Deadline.from_ms(500.0, clock=clock)
+        assert policy.encode_would_blow(tight)
+        assert not policy.encode_would_blow(loose)
+        assert not policy.encode_would_blow(None)
+
+    def test_ewma_converges(self):
+        policy = ResiliencePolicy(clock=FakeClock())
+        policy.record_encode(True, 0.1)
+        assert policy.encode_estimate_s == pytest.approx(0.1)
+        for _ in range(40):
+            policy.record_encode(True, 0.02)
+        assert policy.encode_estimate_s == pytest.approx(0.02, rel=0.05)
+
+    def test_failures_feed_breaker_not_estimate(self):
+        policy = ResiliencePolicy(
+            ResilienceConfig(breaker=BreakerConfig(window=8, min_calls=4)),
+            clock=FakeClock(),
+        )
+        for _ in range(4):
+            policy.record_encode(False, 3.0)
+        assert policy.breaker.state == BREAKER_OPEN
+        assert policy.encode_estimate_s == 0.0
