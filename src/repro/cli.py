@@ -17,6 +17,10 @@ Examples::
         --deadline-ms 100 --max-inflight 32 --watch-checkpoints
     python -m repro recommend --checkpoint ckpts/joint --user 42 --k 10
     python -m repro chaos --checkpoint ckpts/joint
+    python -m repro index --checkpoint ckpts/joint --index ivf_pq \
+        --output items.idx.npz
+    python -m repro serve --checkpoint ckpts/joint --port 8080 \
+        --index-path items.idx.npz --nprobe 8 --rerank 200
 
 ``train`` runs CL4SRec under the fault-tolerant runtime: crash-safe
 rotating checkpoints, SIGTERM/SIGINT flush-and-exit (exit code 3), and
@@ -127,32 +131,87 @@ def _add_serving_arguments(parser: argparse.ArgumentParser) -> None:
         help="disable the resilience layer (deadlines, circuit breaker, "
         "degraded-mode fallback) — the PR-2 fail-hard behaviour",
     )
+    _add_index_arguments(parser)
+
+
+def _add_index_arguments(parser: argparse.ArgumentParser) -> None:
+    """Retrieval-index knobs (docs/RETRIEVAL.md), shared with ``index``."""
+    parser.add_argument(
+        "--index",
+        default="exact",
+        help="retrieval index kind: exact (default, bit-identical dense "
+        "path), ivf, ivf_pq or ivf_flat (see docs/RETRIEVAL.md)",
+    )
+    parser.add_argument(
+        "--index-path",
+        dest="index_path",
+        default=None,
+        help="load a prebuilt 'repro index' artifact (its kind wins over "
+        "--index; verified against the live model's matrix)",
+    )
+    parser.add_argument(
+        "--nprobe",
+        type=int,
+        default=None,
+        help="IVF cells probed per query (exactness/latency knob)",
+    )
+    parser.add_argument(
+        "--rerank",
+        type=int,
+        default=None,
+        help="exact-rescore shortlist size for quantized indexes "
+        "(default: max(10k, 100))",
+    )
+    parser.add_argument(
+        "--nlist",
+        type=int,
+        default=None,
+        help="IVF cell count (default: sqrt(num_items), clamped)",
+    )
+    parser.add_argument(
+        "--pq-m",
+        dest="pq_m",
+        type=int,
+        default=None,
+        help="product-quantization subspaces; must divide the embedding "
+        "dim (ivf_pq only, default: 8)",
+    )
 
 
 def _build_engine(args: argparse.Namespace, **overrides):
     """Dataset + model + checkpoint → a ready RecommendationEngine."""
-    from repro.data.registry import load_dataset
-    from repro.models.registry import build_model
-    from repro.serve import RecommendationEngine, ResilienceConfig
+    from repro.serve import ServeConfig
 
-    scale = _scale_from_args(args)
-    dataset = load_dataset(args.dataset, scale=scale.dataset_scale, seed=scale.seed)
-    model = build_model(args.model, dataset, scale)
-    engine_kwargs = dict(
-        dtype=args.dtype,
-        max_batch_size=args.max_batch_size,
-        cache_size=args.cache_size,
-    )
-    if "resilience" not in overrides:
-        engine_kwargs["resilience"] = (
-            ResilienceConfig(default_deadline_ms=args.deadline_ms)
-            if getattr(args, "resilience", True)
-            else None
-        )
-    engine_kwargs.update(overrides)
-    return RecommendationEngine.from_checkpoint(
-        args.checkpoint, model, dataset, **engine_kwargs
-    )
+    return ServeConfig.from_args(args).build_engine(**overrides)
+
+
+def _run_index(args: argparse.Namespace) -> int:
+    """The ``index`` subcommand: build + save a retrieval artifact."""
+    import json
+
+    from repro.serve import ServeConfig
+
+    config = ServeConfig.from_args(args)
+    if config.index_path is not None:
+        print("index: --index-path is an input of serve, not of index; "
+              "use --output for the artifact destination", file=sys.stderr)
+        return 2
+    engine = config.build_engine(resilience=None)
+    if engine.index is None:
+        print(f"index: model {config.model!r} exposes no item embedding "
+              f"matrix; nothing to index", file=sys.stderr)
+        return 2
+    matrix = engine.index.matrix
+    started = time.time()
+    index = config.build_index().build(matrix)
+    built_in = time.time() - started
+    path = index.save(args.output)
+    stats = index.stats()
+    stats["build_seconds"] = round(built_in, 3)
+    stats["artifact"] = path
+    stats["artifact_bytes"] = os.path.getsize(path)
+    print(json.dumps(stats, indent=2, sort_keys=True))
+    return 0
 
 
 def _run_serve(args: argparse.Namespace) -> int:
@@ -527,6 +586,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="allow already-seen items in the top-k",
     )
 
+    p_ix = sub.add_parser(
+        "index",
+        help="build a retrieval-index artifact (IVF/PQ) from a checkpoint",
+    )
+    _add_serving_arguments(p_ix)
+    p_ix.add_argument(
+        "--output",
+        required=True,
+        help="artifact destination (.npz); serve it with --index-path",
+    )
+
     p_rp = sub.add_parser(
         "report", help="stitch benchmarks/results/*.md into one report"
     )
@@ -736,6 +806,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_recommend(args)
     if args.command == "chaos":
         return _run_chaos(args)
+    if args.command == "index":
+        return _run_index(args)
     if args.command == "table1":
         result = run_table1(scale=args.scale, seed=args.seed)
     elif args.command == "table2":

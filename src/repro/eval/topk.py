@@ -6,13 +6,15 @@ can do O(n + k log k) instead via ``np.argpartition``.  This module is
 the single implementation both sides use, so the engine's output is
 guaranteed to match the evaluation protocol.
 
-Tie-breaking is deterministic: equal scores rank by ascending item
-index (i.e. the result matches ``np.argsort(-scores, kind="stable")``).
-One caveat inherited from ``argpartition``: when ties straddle the k-th
-position, *which* of the tied items enters the top-k is the partition's
-choice — identical scores at the boundary may select different (equally
-valid) items than a full sort.  On ties-free inputs the result is
-bit-identical to a full stable sort.
+Tie-breaking is fully deterministic: equal scores rank by ascending
+item index, so the result is always bit-identical to
+``np.argsort(-scores, kind="stable")[:k]`` — including when ties
+straddle the k-th position.  ``argpartition`` makes an arbitrary choice
+among boundary ties, so after partitioning we detect rows whose
+threshold value also occurs outside the selected set and repair them to
+keep the smallest tied indices.  That total-order guarantee is what
+lets exact-vs-rerank retrieval comparisons assert *equality* instead of
+set overlap.
 """
 
 from __future__ import annotations
@@ -34,7 +36,8 @@ def top_k_indices(scores: np.ndarray, k: int) -> np.ndarray:
     Returns
     -------
     ``(k,)`` or ``(batch, k)`` int64 indices, best first.  Equal scores
-    order by ascending index (stable).
+    order by ascending index (stable), matching a full stable sort of
+    ``-scores`` even when ties cross the k-th position.
     """
     scores = np.asarray(scores)
     if k < 1:
@@ -49,9 +52,29 @@ def top_k_indices(scores: np.ndarray, k: int) -> np.ndarray:
     # Canonicalize the (arbitrary) partition order so equal scores
     # resolve by ascending original index under the stable sort below.
     partition = np.sort(partition, axis=-1)
-    top_scores = np.take_along_axis(scores, partition, axis=-1)
+
+    # Boundary-tie repair: when the k-th value also occurs outside the
+    # selected set, argpartition's pick among the tied items is
+    # unspecified — replace it with the smallest tied indices so the
+    # result matches the stable full sort.  Detection is vectorized
+    # (two equality reductions); the repair itself only runs on the
+    # offending rows, which are rare for real-valued scores.
+    scores_2d = scores[np.newaxis] if scores.ndim == 1 else scores
+    part_2d = partition[np.newaxis] if scores.ndim == 1 else partition
+    top_scores = np.take_along_axis(scores_2d, part_2d, axis=-1)
+    threshold = top_scores.min(axis=-1)
+    ties_total = (scores_2d == threshold[:, None]).sum(axis=-1)
+    ties_in_top = (top_scores == threshold[:, None]).sum(axis=-1)
+    for row in np.flatnonzero(ties_total > ties_in_top):
+        row_scores = scores_2d[row]
+        keep = part_2d[row][row_scores[part_2d[row]] > threshold[row]]
+        tied = np.flatnonzero(row_scores == threshold[row])[: k - keep.size]
+        part_2d[row] = np.sort(np.concatenate([keep, tied]))
+        top_scores[row] = row_scores[part_2d[row]]
+
     order = np.argsort(-top_scores, axis=-1, kind="stable")
-    return np.take_along_axis(partition, order, axis=-1).astype(np.int64)
+    result = np.take_along_axis(part_2d, order, axis=-1).astype(np.int64)
+    return result[0] if scores.ndim == 1 else result
 
 
 def top_k_table(scores: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:

@@ -34,6 +34,7 @@ SECTION_ORDER = (
     "pipeline_prefetch_overlap",
     "compute_core",
     "resilience",
+    "retrieval",
 )
 
 

@@ -1,0 +1,59 @@
+"""Sub-linear top-k retrieval over item embeddings.
+
+One protocol (:class:`~repro.retrieval.base.ItemIndex`), three
+implementations::
+
+    from repro.retrieval import make_index
+
+    index = make_index("ivf_pq", nprobe=8, rerank=200)
+    index.build(model.item_embedding_matrix(dataset.num_items))
+    result = index.search(queries, k=10)
+
+* ``exact`` — the dense matmul path, bit-identical to the historical
+  engine (and the recall reference for everything else).
+* ``ivf`` — k-means inverted lists + int8 scalar-quantized candidate
+  scoring + exact top-R rerank.
+* ``ivf_pq`` — same routing with product-quantization (ADC) scoring.
+
+``nprobe`` (cells visited) and ``rerank`` (exactly rescored shortlist)
+are the exactness knobs; artifacts round-trip through ``save``/``load``
+(see :mod:`repro.retrieval.io`) and are built offline with
+``python -m repro index``.  Full picture: ``docs/RETRIEVAL.md``.
+"""
+
+from repro.retrieval.base import (
+    INDEX_KINDS,
+    IndexBuildError,
+    IndexMismatchError,
+    ItemIndex,
+    SearchResult,
+    SearchStats,
+    make_index,
+    matrix_checksum,
+    register_index,
+)
+from repro.retrieval.exact import ExactIndex
+from repro.retrieval.io import load_index, save_index
+from repro.retrieval.ivf import IVFIndex
+from repro.retrieval.kmeans import KMeansResult, kmeans
+from repro.retrieval.quantize import Int8Quantizer, ProductQuantizer
+
+__all__ = [
+    "ExactIndex",
+    "INDEX_KINDS",
+    "IVFIndex",
+    "IndexBuildError",
+    "IndexMismatchError",
+    "Int8Quantizer",
+    "ItemIndex",
+    "KMeansResult",
+    "ProductQuantizer",
+    "SearchResult",
+    "SearchStats",
+    "kmeans",
+    "load_index",
+    "make_index",
+    "matrix_checksum",
+    "register_index",
+    "save_index",
+]

@@ -23,6 +23,7 @@ for the CLI entry point.
 """
 
 from repro.serve.chaos import ChaosConfig, ChaosReport, run_chaos
+from repro.serve.config import ServeConfig
 from repro.serve.engine import (
     EngineOverloaded,
     LRUCache,
@@ -73,6 +74,7 @@ __all__ = [
     "RequestError",
     "ResilienceConfig",
     "ResiliencePolicy",
+    "ServeConfig",
     "ServingMetrics",
     "ServingUnavailable",
     "ShedRequest",

@@ -13,9 +13,15 @@ module turns it into something that can serve traffic:
   individual requests into those batches through a bounded queue.
 * **Representation cache** — an LRU keyed by the exact item-id
   sequence; repeat visitors skip the Transformer forward entirely.
-* **Partial-sort top-k** — selection goes through the shared
+* **Pluggable retrieval** — candidate scoring and top-k selection go
+  through a :class:`repro.retrieval.ItemIndex`.  The default
+  :class:`~repro.retrieval.exact.ExactIndex` reproduces the dense
+  matmul + partial-sort path bit-for-bit; ``index="ivf"`` /
+  ``"ivf_pq"`` swap in sub-linear ANN retrieval with ``nprobe`` /
+  ``rerank`` exactness knobs (see ``docs/RETRIEVAL.md``).  Selection
+  still flows through the shared
   :func:`repro.eval.topk.top_k_indices`, so served lists match the
-  evaluation protocol bit-for-bit (ties-free inputs).
+  evaluation protocol bit-for-bit.
 * **Metrics** — every stage is timed into
   :class:`repro.serve.metrics.ServingMetrics`.
 * **Resilience** — a :class:`~repro.serve.resilience.ResiliencePolicy`
@@ -39,6 +45,7 @@ from __future__ import annotations
 
 import os
 import time
+import warnings
 from collections import OrderedDict
 
 import numpy as np
@@ -46,6 +53,13 @@ import numpy as np
 from repro.data.preprocessing import SequenceDataset
 from repro.eval.topk import top_k_indices
 from repro.nn.serialization import CheckpointError
+from repro.retrieval import (
+    ExactIndex,
+    IndexMismatchError,
+    ItemIndex,
+    make_index,
+)
+from repro.retrieval.exact import apply_exclusions
 from repro.runtime.faults import FaultInjector
 from repro.serve.metrics import ServingMetrics
 from repro.serve.requests import Recommendation, RecRequest, RequestError
@@ -78,6 +92,14 @@ _RESILIENCE_COUNTERS = (
     "model_swaps",
     "model_swap_failures",
     "model_swap_rollbacks",
+)
+
+#: Retrieval-work counters pre-registered so ``/metrics`` exposes the
+#: index schema even while every request is served by the exact path.
+_INDEX_COUNTERS = (
+    "index_clusters_probed",
+    "index_candidates_scored",
+    "index_reranked",
 )
 
 
@@ -214,6 +236,15 @@ class RecommendationEngine:
     observer:
         Optional :class:`repro.obs.RunObserver`; breaker transitions
         and model swaps are emitted as structured events.
+    index:
+        The retrieval index serving candidate scoring + top-k: a
+        :class:`repro.retrieval.ItemIndex` instance (built indexes are
+        checksum-verified against the live model's matrix, unbuilt
+        ones are built from it), a registered kind name
+        (``"exact"``, ``"ivf"``, ``"ivf_pq"``), or ``None`` for the
+        default :class:`~repro.retrieval.exact.ExactIndex` — which is
+        bit-identical to the historical dense path.  Ignored (and
+        rejected) for ``score_sequences``-only models.
     """
 
     def __init__(
@@ -228,6 +259,7 @@ class RecommendationEngine:
         resilience=_DEFAULT_RESILIENCE,
         faults: FaultInjector | None = None,
         observer=None,
+        index: "ItemIndex | str | None" = None,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be positive, got {max_batch_size}")
@@ -271,11 +303,19 @@ class RecommendationEngine:
             model, "item_embedding_matrix"
         )
         if has_representation_api:
-            self._item_matrix = np.ascontiguousarray(
+            matrix = np.ascontiguousarray(
                 model.item_embedding_matrix(dataset.num_items)
             )
+            self.index: ItemIndex | None = self._adopt_index(index, matrix)
+            self.metrics.touch(*_INDEX_COUNTERS)
         elif hasattr(model, "score_sequences"):
-            self._item_matrix = None  # fallback: cache full score rows
+            if index is not None:
+                raise TypeError(
+                    f"{type(model).__name__} exposes no item embedding "
+                    f"matrix; retrieval indexes require the representation "
+                    f"API (encode_sequences + item_embedding_matrix)"
+                )
+            self.index = None  # fallback: cache full score rows
         else:
             raise TypeError(
                 f"{type(model).__name__} exposes neither the representation "
@@ -285,9 +325,66 @@ class RecommendationEngine:
 
         self._queue: list[RecRequest] = []
         self._completed: list[Recommendation] = []
+        self._warned_item_matrix = False
 
         if hasattr(model, "eval"):
             model.eval()
+
+    @staticmethod
+    def _adopt_index(index, matrix: np.ndarray) -> ItemIndex:
+        """Resolve the ``index`` constructor argument against ``matrix``.
+
+        A prebuilt index (e.g. loaded from a ``repro index`` artifact)
+        must match the live model's matrix exactly — serving a stale
+        artifact would silently recommend from a different embedding
+        space, so a shape or checksum mismatch raises
+        :class:`~repro.retrieval.IndexMismatchError` instead.
+        """
+        if index is None:
+            return ExactIndex().build(matrix)
+        if isinstance(index, str):
+            return make_index(index).build(matrix)
+        if not isinstance(index, ItemIndex):
+            raise TypeError(
+                f"index must be an ItemIndex, a kind name or None, "
+                f"got {type(index).__name__}"
+            )
+        if not index.is_built:
+            return index.build(matrix)
+        if (
+            index.num_rows != matrix.shape[0]
+            or index.dim != matrix.shape[1]
+            or not np.array_equal(index.matrix, matrix)
+        ):
+            raise IndexMismatchError(
+                f"prebuilt {index.kind!r} index covers a "
+                f"({index.num_rows}, {index.dim}) {index.matrix.dtype} "
+                f"matrix but the live model produces "
+                f"({matrix.shape[0]}, {matrix.shape[1]}) {matrix.dtype}; "
+                f"rebuild the artifact with 'repro index' from the "
+                f"serving checkpoint and dtype"
+            )
+        return index
+
+    @property
+    def item_matrix(self) -> np.ndarray | None:
+        """Deprecated: the dense scoring matrix now lives on the index.
+
+        .. deprecated::
+            Use ``engine.index.matrix`` (or :meth:`ItemIndex.score`)
+            instead; direct matrix access bypasses the retrieval
+            protocol and will be removed once downstream callers have
+            migrated.
+        """
+        if not self._warned_item_matrix:
+            self._warned_item_matrix = True
+            warnings.warn(
+                "RecommendationEngine.item_matrix is deprecated; go "
+                "through engine.index (ItemIndex.score / search) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        return self.index.matrix if self.index is not None else None
 
     # ------------------------------------------------------------------
     # Loading
@@ -359,12 +456,16 @@ class RecommendationEngine:
         2. a mismatched state dict restores the previous weights and
            raises :class:`CheckpointError`;
         3. with ``probe`` (default) the swapped model must pass a
-           self-check — one probe sequence encoded and scored, finite
-           values, correct shapes — or the previous weights and item
-           matrix are rolled back and :class:`ModelSwapError` raised.
+           self-check — one probe sequence encoded and scored through
+           the rebuilt index, finite values, correct shapes — or the
+           previous weights (and live index) are kept and
+           :class:`ModelSwapError` raised.
 
-        On success the item matrix is rebuilt, the representation
-        cache invalidated, and :attr:`model_version` bumped — the
+        On success the retrieval index is rebuilt from the new item
+        matrix (same hyperparameters, built off to the side and swapped
+        as one reference so requests never see a half-built index), the
+        representation cache invalidated, and :attr:`model_version`
+        bumped — the
         generation counter lets clients observe which weights answered
         (``"model_version"`` in responses, ``/health``, metrics).
 
@@ -400,13 +501,17 @@ class RecommendationEngine:
             ) from error
 
         try:
-            new_matrix = None
-            if self._item_matrix is not None:
-                new_matrix = np.ascontiguousarray(
-                    self.model.item_embedding_matrix(self.dataset.num_items)
+            new_index = None
+            if self.index is not None:
+                # Rebuild off to the side with the same hyperparameters;
+                # the live index keeps serving until the publish below.
+                new_index = self.index.rebuild(
+                    np.ascontiguousarray(
+                        self.model.item_embedding_matrix(self.dataset.num_items)
+                    )
                 )
             if probe:
-                self._self_check(new_matrix)
+                self._self_check(new_index)
         except Exception as error:
             self.model.load_state_dict(previous)
             self.metrics.increment("model_swap_failures")
@@ -419,10 +524,10 @@ class RecommendationEngine:
             ) from error
 
         # Publish: everything below is cheap pointer/counter work, so a
-        # request never observes new weights with a stale item matrix
-        # or cache.
-        if new_matrix is not None:
-            self._item_matrix = new_matrix
+        # request never observes new weights with a stale index or
+        # cache.
+        if new_index is not None:
+            self.index = new_index
         self.invalidate_cache()
         self.model_version += 1
         self.checkpoint_path = checkpoint
@@ -450,20 +555,20 @@ class RecommendationEngine:
                 return sequence
         return np.asarray([min(1, self.dataset.num_items)], dtype=np.int64)
 
-    def _self_check(self, item_matrix: np.ndarray | None) -> None:
+    def _self_check(self, index: ItemIndex | None) -> None:
         """Probe the (swapped) model end to end; raise on anything off."""
         sequence = self._probe_sequence()
-        if item_matrix is not None:
+        if index is not None:
             representation = np.asarray(self.model.encode_sequences([sequence]))
             if (
                 representation.ndim != 2
-                or representation.shape[1] != item_matrix.shape[1]
+                or representation.shape[1] != index.dim
                 or not np.all(np.isfinite(representation))
             ):
                 raise ModelSwapError(
                     "probe produced a non-finite or misshapen representation"
                 )
-            scores = representation @ item_matrix.T
+            scores = index.score(representation)
         else:
             scores = np.asarray(
                 self.model.score_sequences([sequence], self.dataset.num_items)
@@ -560,10 +665,11 @@ class RecommendationEngine:
             rows, cached_flags, tiers = self._compute_rows(
                 keys, sequences, deadlines, errors
             )
-            with self.metrics.time_stage("topk"):
-                results = self._select_batch(
-                    requests, rows, exclusions, cached_flags, tiers, errors
-                )
+            # _select_batch times its own "score" (index search) and
+            # "topk" (selection/assembly) stages.
+            results = self._select_batch(
+                requests, rows, exclusions, cached_flags, tiers, errors
+            )
         self.metrics.increment("requests", len(requests))
         self.metrics.increment("batches")
         return results
@@ -786,20 +892,16 @@ class RecommendationEngine:
             for i in hit_idx:
                 tiers[i] = "cache"
 
-        # Assemble per-request rows; popularity rows are shared and
-        # copied only by the scoring matrix construction downstream.
+        # Assemble per-request rows.  In index mode these are cached
+        # *representations* — candidate scoring is deferred to the
+        # retrieval index inside :meth:`_select_batch`.  The fallback
+        # backend caches full score rows; popularity rows are shared
+        # and copied only by downstream matrix construction.
         rows: list = [None] * n
         scored_idx = [i for i in live if tiers[i] != "popularity"]
-        if self._item_matrix is not None:
-            if scored_idx:
-                representations = np.stack(
-                    [self.cache.get(keys[i]) for i in scored_idx]
-                )
-                with self.metrics.time_stage("score"):
-                    scored = representations @ self._item_matrix.T
-                self.metrics.increment("items_scored", scored.size)
-                for j, i in enumerate(scored_idx):
-                    rows[i] = scored[j]
+        if self.index is not None:
+            for i in scored_idx:
+                rows[i] = self.cache.get(keys[i])
         else:
             for i in scored_idx:
                 rows[i] = self.cache.get(keys[i])
@@ -825,7 +927,7 @@ class RecommendationEngine:
             delay = self.faults.encode_delay()
             if delay > 0.0:
                 time.sleep(delay)
-        if self._item_matrix is not None:
+        if self.index is not None:
             return np.asarray(self.model.encode_sequences(sequences))
         return np.asarray(
             self.model.score_sequences(sequences, self.dataset.num_items)
@@ -840,40 +942,74 @@ class RecommendationEngine:
         tiers: list,
         errors: list,
     ) -> list[Recommendation]:
-        """Mask ineligible items and partial-sort top-k, batched."""
+        """Score through the retrieval index and select top-k, batched.
+
+        Requests backed by a representation (index mode, tiers ``None``
+        / ``"cache"``) go through :meth:`ItemIndex.search` under the
+        ``score`` stage; popularity-degraded requests and the
+        ``score_sequences`` fallback backend already carry full score
+        rows and take the dense mask + partial-sort path under
+        ``topk``.  With the default :class:`ExactIndex` both paths are
+        bit-identical to the historical engine.
+        """
         n = len(requests)
         results: list = [None] * n
         live = [i for i in range(n) if errors[i] is None]
-        if live:
-            scores = np.array([rows[i] for i in live], dtype=np.float64)
-            scores[:, 0] = _NEG_INF  # padding id is never a candidate
-            live_exclusions = [exclusions[i] for i in live]
-            row_idx = np.concatenate(
-                [
-                    np.full(len(e), j)
-                    for j, e in enumerate(live_exclusions)
-                    if e is not None
-                ]
-                or [np.empty(0, dtype=np.int64)]
-            )
-            col_idx = np.concatenate(
-                [e for e in live_exclusions if e is not None]
-                or [np.empty(0, dtype=np.int64)]
-            )
-            scores[row_idx.astype(np.int64), col_idx.astype(np.int64)] = _NEG_INF
-            max_k = min(max(requests[i].k for i in live), scores.shape[1])
-            top = top_k_indices(scores, max_k)
-            for j, i in enumerate(live):
-                row_top = top[j][np.isfinite(scores[j, top[j]])][: requests[i].k]
-                results[i] = Recommendation(
-                    items=row_top,
-                    scores=scores[j, row_top],
-                    request=requests[i],
-                    cached=cached_flags[i],
-                    degraded=tiers[i] is not None,
-                    fallback=tiers[i],
-                    model_version=self.model_version,
+        if self.index is not None:
+            served = [i for i in live if tiers[i] != "popularity"]
+            dense = [i for i in live if tiers[i] == "popularity"]
+        else:
+            served, dense = [], live
+
+        found = None
+        if served:
+            queries = np.stack([rows[i] for i in served])
+            with self.metrics.time_stage("score"):
+                found = self.index.search(
+                    queries,
+                    min(max(requests[i].k for i in served), self.index.num_rows),
+                    exclude=[exclusions[i] for i in served],
                 )
+            stats = found.stats
+            self.metrics.increment("items_scored", stats.candidates_scored)
+            self.metrics.increment(
+                "index_candidates_scored", stats.candidates_scored
+            )
+            self.metrics.increment("index_clusters_probed", stats.clusters_probed)
+            self.metrics.increment("index_reranked", stats.reranked)
+
+        with self.metrics.time_stage("topk"):
+            if found is not None:
+                for j, i in enumerate(served):
+                    finite = np.isfinite(found.scores[j])
+                    row_top = found.items[j][finite][: requests[i].k]
+                    results[i] = Recommendation(
+                        items=row_top,
+                        scores=found.scores[j][finite][: requests[i].k],
+                        request=requests[i],
+                        cached=cached_flags[i],
+                        degraded=tiers[i] is not None,
+                        fallback=tiers[i],
+                        model_version=self.model_version,
+                    )
+            if dense:
+                scores = np.array([rows[i] for i in dense], dtype=np.float64)
+                apply_exclusions(scores, [exclusions[i] for i in dense])
+                max_k = min(max(requests[i].k for i in dense), scores.shape[1])
+                top = top_k_indices(scores, max_k)
+                for j, i in enumerate(dense):
+                    row_top = top[j][np.isfinite(scores[j, top[j]])][
+                        : requests[i].k
+                    ]
+                    results[i] = Recommendation(
+                        items=row_top,
+                        scores=scores[j, row_top],
+                        request=requests[i],
+                        cached=cached_flags[i],
+                        degraded=tiers[i] is not None,
+                        fallback=tiers[i],
+                        model_version=self.model_version,
+                    )
         for i in range(n):
             if errors[i] is not None:
                 reason, detail = errors[i]

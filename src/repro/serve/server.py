@@ -220,6 +220,8 @@ class RecommendationServer:
             payload["breaker"] = self.engine.policy.breaker.state
         if self.engine.checkpoint_path:
             payload["checkpoint"] = self.engine.checkpoint_path
+        if self.engine.index is not None:
+            payload["index"] = self.engine.index.stats()
         return payload
 
     def watch_checkpoints(self, directory: str, interval_s: float = 2.0) -> None:

@@ -146,3 +146,102 @@ class TestEvaluator:
         assert result["HR@5"] == 1.0
         # (Sanity: synthetic data does contain repeat consumption.)
         assert isinstance(repeat_users, list)
+
+
+class EmbeddingScorer:
+    """Representation-API scorer: mean-pools item embeddings.
+
+    ``score_items`` computes exactly what ``ExactIndex.score`` computes
+    over the same queries, so index-backed evaluation must reproduce
+    the plain protocol bit for bit.
+    """
+
+    def __init__(self, dataset, dim=8, seed=11):
+        rng = np.random.default_rng(seed)
+        self.matrix = rng.normal(size=(dataset.num_items + 1, dim))
+        self.matrix[0] = 0.0
+
+    def item_embedding_matrix(self, num_items):
+        return self.matrix
+
+    def encode_sequences(self, sequences):
+        dim = self.matrix.shape[1]
+        rows = [
+            self.matrix[np.asarray(seq, dtype=np.int64)].mean(axis=0)
+            if len(seq)
+            else np.zeros(dim)
+            for seq in sequences
+        ]
+        return np.stack(rows)
+
+    def score_items(self, dataset, users, items=None, split="test"):
+        sequences = [
+            dataset.full_sequence(int(user), split=split) for user in users
+        ]
+        scores = np.array(
+            self.encode_sequences(sequences) @ self.matrix.T, dtype=np.float64
+        )
+        if items is None:
+            return scores
+        return scores[:, np.asarray(items, dtype=np.int64)]
+
+
+class TestIndexBackedEvaluation:
+    def _index(self, model, dataset, kind="exact", **params):
+        from repro.retrieval import make_index
+
+        return make_index(kind, **params).build(
+            np.ascontiguousarray(model.item_embedding_matrix(dataset.num_items))
+        )
+
+    def test_exact_index_metrics_bit_identical(self, tiny_dataset):
+        model = EmbeddingScorer(tiny_dataset)
+        plain = Evaluator(tiny_dataset).evaluate(model)
+        indexed = Evaluator(
+            tiny_dataset, index=self._index(model, tiny_dataset)
+        ).evaluate(model)
+        assert indexed.metrics == plain.metrics
+        assert np.array_equal(indexed.ranks, plain.ranks)
+
+    def test_quantized_index_evaluates(self, tiny_dataset):
+        model = EmbeddingScorer(tiny_dataset)
+        index = self._index(
+            model, tiny_dataset, kind="ivf", nlist=4, nprobe=4
+        )
+        result = Evaluator(tiny_dataset, index=index).evaluate(model)
+        assert result.num_users == len(tiny_dataset.evaluation_users("test"))
+        assert all(0.0 <= v <= 1.0 for v in result.metrics.values())
+
+    def test_index_row_mismatch_rejected(self, tiny_dataset):
+        from repro.retrieval import ExactIndex
+
+        wrong = ExactIndex().build(
+            np.random.default_rng(0).normal(size=(tiny_dataset.num_items + 7, 4))
+        )
+        with pytest.raises(ValueError, match="rows"):
+            Evaluator(tiny_dataset, index=wrong)
+
+    def test_index_requires_representation_api(self, tiny_dataset):
+        from repro.eval.evaluator import candidate_scores
+        from repro.retrieval import ExactIndex
+
+        model = EmbeddingScorer(tiny_dataset)
+        index = self._index(model, tiny_dataset)
+        users = tiny_dataset.evaluation_users("test")[:4]
+        with pytest.raises(TypeError, match="encode_sequences"):
+            candidate_scores(
+                OracleScorer(tiny_dataset), tiny_dataset, users, index=index
+            )
+
+    def test_candidate_scores_item_subset(self, tiny_dataset):
+        from repro.eval.evaluator import candidate_scores
+
+        model = EmbeddingScorer(tiny_dataset)
+        index = self._index(model, tiny_dataset)
+        users = tiny_dataset.evaluation_users("test")[:5]
+        items = np.array([3, 1, 4], dtype=np.int64)
+        full = candidate_scores(model, tiny_dataset, users, index=index)
+        subset = candidate_scores(
+            model, tiny_dataset, users, items=items, index=index
+        )
+        assert np.array_equal(subset, full[:, items])

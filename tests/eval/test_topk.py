@@ -81,3 +81,70 @@ class TestTopKTable:
         indices, values = top_k_table(scores, 1)
         assert np.array_equal(indices, np.array([[1], [0]]))
         assert np.array_equal(values, np.array([[2.0], [4.0]]))
+
+
+class TestBoundaryTies:
+    """Regression: ties straddling the k-th position (ISSUE 7).
+
+    ``argpartition`` picks arbitrarily among equal scores at the cut;
+    the helper must repair that so results always equal the stable full
+    sort — retrieval's exact-vs-ANN comparisons assert *equality*, not
+    set overlap, and depend on this total order.
+    """
+
+    def test_ties_across_the_cut_keep_smallest_indices(self):
+        scores = np.array([5.0, 7.0, 5.0, 5.0, 1.0])
+        # Two of the three 5.0s make the top-3; the stable order keeps
+        # indices 0 and 2, never index 3.
+        assert np.array_equal(top_k_indices(scores, 3), np.array([1, 0, 2]))
+
+    def test_all_equal_scores_rank_by_index(self):
+        assert np.array_equal(top_k_indices(np.ones(6), 4), np.arange(4))
+
+    def test_batched_rows_repair_independently(self):
+        scores = np.array(
+            [
+                [2.0, 2.0, 2.0, 2.0],
+                [9.0, 1.0, 9.0, 9.0],
+                [1.0, 2.0, 3.0, 4.0],
+            ]
+        )
+        expected = np.argsort(-scores, axis=-1, kind="stable")[:, :2]
+        assert np.array_equal(top_k_indices(scores, 2), expected)
+
+    def test_neg_inf_ties_at_the_cut(self):
+        scores = np.array([-np.inf, 3.0, -np.inf, -np.inf, 2.0])
+        assert np.array_equal(
+            top_k_indices(scores, 4), np.array([1, 4, 0, 2])
+        )
+
+    @settings(max_examples=300, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        n=st.integers(1, 60),
+        k=st.integers(1, 70),
+        levels=st.integers(1, 4),
+    )
+    def test_property_matches_stable_argsort_with_heavy_ties(
+        self, seed, n, k, levels
+    ):
+        # Few distinct values => ties almost surely cross the cut.
+        rng = np.random.default_rng(seed)
+        scores = rng.integers(0, levels, size=n).astype(np.float64)
+        expected = np.argsort(-scores, kind="stable")[: min(k, n)]
+        assert np.array_equal(top_k_indices(scores, k), expected)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        rows=st.integers(1, 8),
+        n=st.integers(1, 40),
+        k=st.integers(1, 45),
+    )
+    def test_property_batched_with_ties_and_neg_inf(self, seed, rows, n, k):
+        rng = np.random.default_rng(seed)
+        scores = rng.integers(0, 3, size=(rows, n)).astype(np.float64)
+        mask = rng.random(size=scores.shape) < 0.3
+        scores[mask] = -np.inf
+        expected = np.argsort(-scores, axis=-1, kind="stable")[:, : min(k, n)]
+        assert np.array_equal(top_k_indices(scores, k), expected)

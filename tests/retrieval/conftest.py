@@ -1,0 +1,32 @@
+"""Shared fixtures for the retrieval-index tests."""
+
+import numpy as np
+import pytest
+
+
+def make_item_matrix(
+    num_items: int = 400, dim: int = 16, seed: int = 7, dtype=np.float64
+) -> np.ndarray:
+    """A clustered ``(num_items + 1, dim)`` matrix with a padding row.
+
+    Drawn from a Gaussian mixture so the IVF coarse quantizer has real
+    structure to find — i.i.d. noise would make every cell equally
+    likely and the recall assertions vacuous.
+    """
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(scale=2.0, size=(8, dim))
+    labels = rng.integers(0, len(centers), size=num_items)
+    items = centers[labels] + rng.normal(scale=0.35, size=(num_items, dim))
+    matrix = np.concatenate([np.zeros((1, dim)), items]).astype(dtype)
+    return np.ascontiguousarray(matrix)
+
+
+@pytest.fixture(scope="module")
+def item_matrix() -> np.ndarray:
+    return make_item_matrix()
+
+
+@pytest.fixture(scope="module")
+def queries(item_matrix) -> np.ndarray:
+    rng = np.random.default_rng(21)
+    return rng.normal(size=(12, item_matrix.shape[1]))

@@ -1,0 +1,130 @@
+"""The ItemIndex protocol: registry, validation, shared state."""
+
+import numpy as np
+import pytest
+
+from repro.retrieval import (
+    INDEX_KINDS,
+    ExactIndex,
+    IndexBuildError,
+    IVFIndex,
+    ItemIndex,
+    make_index,
+    matrix_checksum,
+    register_index,
+)
+
+from tests.retrieval.conftest import make_item_matrix
+
+
+class TestRegistry:
+    def test_all_kinds_registered(self):
+        assert {"exact", "ivf", "ivf_pq", "ivf_flat"} <= set(INDEX_KINDS)
+
+    def test_make_index_dispatches_by_kind(self):
+        assert isinstance(make_index("exact"), ExactIndex)
+        assert isinstance(make_index("ivf"), IVFIndex)
+        assert isinstance(make_index("ivf_pq"), IVFIndex)
+
+    def test_kind_implies_quantize_mode(self):
+        assert make_index("ivf").quantize == "int8"
+        assert make_index("ivf_pq").quantize == "pq"
+        assert make_index("ivf_flat").quantize == "none"
+
+    def test_kind_round_trips_through_instance(self):
+        for kind in ("exact", "ivf", "ivf_pq", "ivf_flat"):
+            assert make_index(kind).kind == kind
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown index kind"):
+            make_index("annoy")
+
+    def test_duplicate_registration_raises(self):
+        class Clashing(ExactIndex):
+            kinds = ("exact",)
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_index(Clashing)
+
+    def test_params_forwarded_to_constructor(self):
+        index = make_index("ivf_pq", nprobe=3, rerank=50, pq_m=4)
+        assert (index.nprobe, index.rerank, index.pq_m) == (3, 50, 4)
+
+
+class TestProtocolState:
+    def test_unbuilt_index_refuses_queries(self):
+        index = ExactIndex()
+        assert not index.is_built
+        with pytest.raises(IndexBuildError, match="not built"):
+            index.search(np.zeros((1, 4)), k=1)
+        with pytest.raises(IndexBuildError, match="not built"):
+            __ = index.matrix
+
+    def test_build_returns_self_for_chaining(self, item_matrix):
+        index = ExactIndex().build(item_matrix)
+        assert isinstance(index, ExactIndex)
+        assert index.is_built
+        assert index.num_rows == item_matrix.shape[0]
+        assert index.dim == item_matrix.shape[1]
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            np.zeros(8),  # 1-D
+            np.zeros((1, 4)),  # padding row only
+            np.zeros((4, 4), dtype=np.int64),  # not floating
+        ],
+    )
+    def test_build_rejects_bad_matrices(self, bad):
+        with pytest.raises(IndexBuildError):
+            ExactIndex().build(bad)
+
+    def test_build_rejects_non_finite(self):
+        matrix = make_item_matrix(num_items=10)
+        matrix[3, 0] = np.nan
+        with pytest.raises(IndexBuildError, match="non-finite"):
+            ExactIndex().build(matrix)
+
+    def test_query_shape_validated(self, item_matrix):
+        index = ExactIndex().build(item_matrix)
+        with pytest.raises(ValueError, match="queries must be"):
+            index.search(np.zeros((2, item_matrix.shape[1] + 1)), k=3)
+        with pytest.raises(ValueError, match="k must be positive"):
+            index.search(np.zeros((2, item_matrix.shape[1])), k=0)
+
+    def test_stats_schema(self, item_matrix):
+        stats = ExactIndex().build(item_matrix).stats()
+        assert stats["kind"] == "exact"
+        assert stats["built"] is True
+        assert stats["num_rows"] == item_matrix.shape[0]
+        assert stats["checksum"] == matrix_checksum(item_matrix)
+
+    def test_ivf_stats_include_structure(self, item_matrix):
+        stats = make_index("ivf", nlist=10).build(item_matrix).stats()
+        assert stats["kind"] == "ivf"
+        assert stats["nlist"] == 10
+        assert stats["quantize"] == "int8"
+        assert stats["code_bytes"] > 0
+        assert stats["list_size_min"] >= 0
+
+
+class TestChecksum:
+    def test_sensitive_to_values_shape_and_dtype(self):
+        matrix = make_item_matrix(num_items=20)
+        base = matrix_checksum(matrix)
+        bumped = matrix.copy()
+        bumped[5, 2] += 1e-12
+        assert matrix_checksum(bumped) != base
+        assert matrix_checksum(matrix.astype(np.float32)) != base
+        assert matrix_checksum(matrix[:-1]) != base
+        assert matrix_checksum(matrix.copy()) == base
+
+    def test_subclass_contract_requires_kinds(self):
+        # An implementation without registry names still has a usable
+        # stats() payload (falls back to the class name).
+        class Anonymous(ExactIndex):
+            kinds = ()
+
+        index = Anonymous()
+        assert issubclass(Anonymous, ItemIndex)
+        assert index.stats()["kind"] == "Anonymous"

@@ -151,7 +151,7 @@ class TestBackends:
         model = build_model("SR-GNN", tiny_dataset, SCALE)
         model.fit(tiny_dataset)
         engine = RecommendationEngine(model, tiny_dataset)
-        assert engine._item_matrix is None  # score_sequences fallback
+        assert engine.index is None  # score_sequences fallback
         expected = model.recommend(tiny_dataset, 0, k=5)
         assert np.array_equal(expected, engine.recommend(user=0, k=5).items)
 
@@ -209,3 +209,104 @@ class TestMetricsIntegration:
         for stage in ("resolve", "encode", "score", "topk", "total"):
             assert snap["latency"][stage]["count"] >= 1
         assert snap["counters"]["requests"] == 2
+
+
+class TestRetrievalIndex:
+    """The engine behind the ItemIndex protocol (ISSUE 7)."""
+
+    def test_default_index_is_exact(self, engine):
+        from repro.retrieval import ExactIndex
+
+        assert isinstance(engine.index, ExactIndex)
+        assert engine.index.num_rows == engine.dataset.num_items + 1
+
+    def test_kind_string_selects_index(self, sasrec, tiny_dataset):
+        from repro.retrieval import IVFIndex
+
+        engine = RecommendationEngine(sasrec, tiny_dataset, index="ivf")
+        assert isinstance(engine.index, IVFIndex)
+        assert engine.index.is_built
+
+    def test_full_probe_ivf_matches_exact_engine(self, sasrec, tiny_dataset):
+        from repro.retrieval import make_index
+
+        num_items = tiny_dataset.num_items
+        exact = RecommendationEngine(sasrec, tiny_dataset)
+        approx = RecommendationEngine(
+            sasrec,
+            tiny_dataset,
+            index=make_index(
+                "ivf", nlist=8, nprobe=8, rerank=num_items + 1
+            ),
+        )
+        for user in range(6):
+            a = exact.recommend(user=user, k=10)
+            b = approx.recommend(user=user, k=10)
+            assert np.array_equal(a.items, b.items)
+
+    def test_prebuilt_index_on_wrong_matrix_rejected(self, sasrec, tiny_dataset):
+        from repro.retrieval import ExactIndex, IndexMismatchError
+
+        rng = np.random.default_rng(0)
+        stale = ExactIndex().build(
+            rng.normal(size=(tiny_dataset.num_items + 1, 16))
+        )
+        with pytest.raises(IndexMismatchError, match="rebuild the artifact"):
+            RecommendationEngine(sasrec, tiny_dataset, index=stale)
+
+    def test_prebuilt_matching_index_is_adopted(self, sasrec, tiny_dataset):
+        from repro.retrieval import ExactIndex
+
+        matrix = np.ascontiguousarray(
+            sasrec.item_embedding_matrix(tiny_dataset.num_items)
+        )
+        prebuilt = ExactIndex().build(matrix)
+        engine = RecommendationEngine(sasrec, tiny_dataset, index=prebuilt)
+        assert engine.index is prebuilt
+
+    def test_fallback_backend_rejects_index(self, tiny_dataset):
+        from repro.models.registry import build_model as build
+
+        model = build("SR-GNN", tiny_dataset, SCALE)
+        model.fit(tiny_dataset)
+        with pytest.raises(TypeError, match="representation API"):
+            RecommendationEngine(model, tiny_dataset, index="exact")
+
+    def test_item_matrix_shim_warns_exactly_once(self, engine):
+        import warnings as warnings_module
+
+        with pytest.warns(DeprecationWarning, match="engine.index"):
+            first = engine.item_matrix
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            second = engine.item_matrix  # second access: no warning
+        assert np.array_equal(first, second)
+        assert np.array_equal(first, engine.index.matrix)
+
+    def test_index_counters_recorded(self, sasrec, tiny_dataset):
+        engine = RecommendationEngine(
+            sasrec, tiny_dataset, index="ivf", max_batch_size=8
+        )
+        snap = engine.metrics.snapshot()["counters"]
+        assert snap["index_candidates_scored"] == 0  # pre-registered
+        engine.recommend_batch([RecRequest(user=0), RecRequest(user=1)])
+        snap = engine.metrics.snapshot()["counters"]
+        assert snap["index_clusters_probed"] > 0
+        assert snap["index_candidates_scored"] > 0
+        assert snap["items_scored"] == snap["index_candidates_scored"]
+
+    def test_exact_index_items_scored_matches_legacy(self, engine):
+        engine.recommend_batch([RecRequest(user=0), RecRequest(user=1)])
+        counters = engine.metrics.snapshot()["counters"]
+        assert counters["items_scored"] == 2 * (engine.dataset.num_items + 1)
+
+    def test_health_reports_index_stats(self, engine):
+        from repro.serve.server import RecommendationServer
+
+        server = RecommendationServer(engine, port=0)
+        try:
+            payload = server.health()
+            assert payload["index"]["kind"] == "exact"
+            assert payload["index"]["num_rows"] == engine.dataset.num_items + 1
+        finally:
+            server.httpd.server_close()
