@@ -1,0 +1,205 @@
+"""E-S2 — serving scale-out: sharded workers vs the single process.
+
+Replays one deterministic synthesized traffic trace (Zipf-skewed hot
+users, unique cold visitors, bursty arrivals, single/batch mix — see
+``repro.data.synthetic.TrafficTrace``) against the real HTTP server
+twice: once with the in-process engine (``workers=0``) and once with a
+``--workers 4`` sharded pool, recording p50/p90/p99 latency and
+sustained QPS into ``BENCH_serving_scale.json``.
+
+The speedup gate is **core-aware**: multiprocessing cannot beat a
+single process on a box that only schedules one core, so the full
+2.5x bar from the scale-out design applies only when >=4 cores are
+actually usable; with fewer cores the gate degrades to "the sharding
+layer's IPC overhead stays bounded".  ``available_cores`` is recorded
+in the artifact so a reported speedup is never read out of context.
+
+Scale: the default run replays a CI-sized trace.  Set
+``REPRO_SERVING_SCALE_FULL=1`` to synthesize the full >=1M
+distinct-user replay (~700k events; budget an hour on a laptop core).
+"""
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from benchmarks.conftest import save_markdown
+from repro.data.preprocessing import SequenceDataset
+from repro.data.synthetic import SyntheticConfig, generate_log, synthesize_trace
+from repro.experiments.config import ExperimentScale
+from repro.loadtest import LoadTestConfig, run_loadtest
+from repro.models.registry import build_model
+from repro.serve import (
+    RecommendationEngine,
+    RecommendationServer,
+    ShardedEngine,
+)
+
+BENCH_JSON = os.path.join(
+    os.path.dirname(__file__), os.pardir, "BENCH_serving_scale.json"
+)
+
+WORKERS = 4
+CLIENT_THREADS = 8
+FULL = os.environ.get("REPRO_SERVING_SCALE_FULL") == "1"
+#: Full mode sizes the trace so hot ids + unique cold visitors clear
+#: one million distinct identities (~2.2 sequences/event at this mix).
+NUM_EVENTS = 700_000 if FULL else 1_200
+
+
+def available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def speedup_gate(parallel: int) -> float:
+    """Minimum sharded/single QPS ratio the benchmark enforces."""
+    if parallel >= 4:
+        return 2.5  # the real scale-out claim
+    if parallel >= 2:
+        return 1.2
+    # One schedulable core: workers only add IPC + serialization; the
+    # gate bounds that overhead instead of pretending to scale.
+    return 0.45
+
+
+def p99_gate(parallel: int) -> float:
+    """Maximum sharded/single p99 ratio (equal-or-better at scale)."""
+    return 1.0 if parallel >= 4 else 2.5
+
+
+def _run_one(engine, trace, config) -> dict:
+    server = RecommendationServer(
+        engine, port=0, max_inflight=CLIENT_THREADS * 8
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        host, port = server.address
+        result = run_loadtest(trace, host, port, config)
+    finally:
+        server.shutdown()
+        thread.join(timeout=5)
+        engine.close()
+    assert result.ok, result.violations
+    return result.report()
+
+
+@pytest.mark.loadtest
+def test_serving_scale(benchmark, results_dir):
+    dataset = SequenceDataset.from_log(
+        generate_log(SyntheticConfig(
+            num_users=600, num_items=400, num_interests=10,
+            mean_length=12.0, seed=7,
+        )),
+        name="serving-scale",
+    )
+    scale = ExperimentScale(epochs=1, dim=32, batch_size=64, max_length=12)
+    model = build_model("SASRec", dataset, scale)
+    model.fit(dataset)
+
+    trace = synthesize_trace(
+        num_events=NUM_EVENTS,
+        user_pool=dataset.num_users,
+        num_items=dataset.num_items,
+        hot_users=200,
+        hot_fraction=0.5,
+        batch_fraction=0.3,
+        seed=42,
+    )
+    summary = trace.summary()
+    if FULL:
+        assert summary["distinct_users"] >= 1_000_000
+    config = LoadTestConfig(threads=CLIENT_THREADS)
+
+    def _clone_engine() -> RecommendationEngine:
+        clone = build_model("SASRec", dataset, scale)
+        clone.load_state_dict(model.state_dict())
+        return RecommendationEngine(clone, dataset)
+
+    single_report = _run_one(_clone_engine(), trace, config)
+    # One timed round: each replay is minutes of wall clock at full
+    # scale, and the report's qps/percentiles are the real measurement.
+    sharded_report = benchmark.pedantic(
+        lambda: _run_one(
+            ShardedEngine(_clone_engine(), workers=WORKERS), trace, config
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    cores = available_cores()
+    parallel = min(WORKERS, cores)
+    speedup = sharded_report["qps"] / single_report["qps"]
+    p99_ratio = (
+        sharded_report["latency"]["p99_ms"]
+        / single_report["latency"]["p99_ms"]
+    )
+    required_speedup = speedup_gate(parallel)
+    max_p99_ratio = p99_gate(parallel)
+
+    payload = {
+        "benchmark": "serving_scale",
+        "mode": "full" if FULL else "quick",
+        "workers": WORKERS,
+        "available_cores": cores,
+        "effective_parallelism": parallel,
+        "client_threads": CLIENT_THREADS,
+        "trace": summary,
+        "single_process": single_report,
+        "sharded": sharded_report,
+        "qps_speedup": speedup,
+        "p99_ratio": p99_ratio,
+        "gates": {
+            "required_qps_speedup": required_speedup,
+            "max_p99_ratio": max_p99_ratio,
+            "full_2.5x_gate_active": parallel >= 4,
+        },
+    }
+    with open(BENCH_JSON, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+    lines = [
+        "# E-S2 — serving scale-out (sharded workers vs single process)",
+        "",
+        f"- mode: **{payload['mode']}** "
+        f"({summary['events']} events, {summary['sequences']} sequences, "
+        f"{summary['distinct_users']} distinct users)",
+        f"- workers: {WORKERS}, available cores: {cores} "
+        f"(effective parallelism {parallel})",
+        "",
+        "| engine | QPS | p50 ms | p90 ms | p99 ms |",
+        "|---|---|---|---|---|",
+    ]
+    for label, report in (
+        ("workers=0", single_report), (f"workers={WORKERS}", sharded_report)
+    ):
+        latency = report["latency"]
+        lines.append(
+            f"| {label} | {report['qps']:.1f} | {latency['p50_ms']:.2f} "
+            f"| {latency['p90_ms']:.2f} | {latency['p99_ms']:.2f} |"
+        )
+    lines += [
+        "",
+        f"QPS speedup: **{speedup:.2f}x** "
+        f"(gate: >={required_speedup}x at parallelism {parallel}; "
+        f"the full 2.5x bar applies when >=4 cores are usable)",
+        "",
+        f"p99 ratio (sharded/single): **{p99_ratio:.2f}** "
+        f"(gate: <={max_p99_ratio})",
+    ]
+    save_markdown(results_dir, "serving_scale", "\n".join(lines))
+
+    assert speedup >= required_speedup, (
+        f"sharded QPS speedup {speedup:.2f}x below the "
+        f"{required_speedup}x gate for parallelism {parallel}"
+    )
+    assert p99_ratio <= max_p99_ratio, (
+        f"sharded p99 is {p99_ratio:.2f}x the single-process p99 "
+        f"(gate {max_p99_ratio}x at parallelism {parallel})"
+    )

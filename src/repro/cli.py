@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import os
+import signal
 import sys
 import time
 
@@ -81,11 +82,13 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--output", help="also write the markdown to this file")
 
 
-def _add_serving_arguments(parser: argparse.ArgumentParser) -> None:
+def _add_serving_arguments(
+    parser: argparse.ArgumentParser, checkpoint_required: bool = True
+) -> None:
     """Flags shared by ``serve`` and ``recommend``: checkpoint + model."""
     parser.add_argument(
         "--checkpoint",
-        required=True,
+        required=checkpoint_required,
         help="checkpoint directory (newest valid archive) or .npz file",
     )
     parser.add_argument(
@@ -130,6 +133,14 @@ def _add_serving_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_false",
         help="disable the resilience layer (deadlines, circuit breaker, "
         "degraded-mode fallback) — the PR-2 fail-hard behaviour",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="scoring worker processes; 0 (default) serves in-process on "
+        "the single-process path, N shards the representation cache by "
+        "user hash over N workers (docs/SCALING.md)",
     )
     _add_index_arguments(parser)
 
@@ -266,16 +277,120 @@ def _run_serve(args: argparse.Namespace) -> int:
     host, port = server.address
     print(f"serving {args.model} on http://{host}:{port} "
           f"(POST /recommend, POST /admin/reload, GET /metrics, GET /health)")
+    # SIGTERM must unwind through the finally below so a sharded pool
+    # shuts its workers down and unlinks shared-memory segments.
+    signal.signal(signal.SIGTERM, lambda signum, frame: sys.exit(0))
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
         server.shutdown()
+        engine.close()
         if args.metrics_output:
             with open(args.metrics_output, "w") as handle:
                 handle.write(engine.metrics.to_json() + "\n")
     return 0
+
+
+def _run_loadtest(args: argparse.Namespace) -> int:
+    """The ``loadtest`` subcommand: replay synthetic traffic, gate invariants.
+
+    Targets a running server (``--url``) or self-hosts one from
+    ``--checkpoint`` on an ephemeral port.  Exit status 1 means a
+    serving invariant was violated (dropped responses, refusals outside
+    the shed/deadline envelope, model_version regressions, metrics
+    accounting drift) — see docs/SCALING.md.
+    """
+    import json
+    import threading
+
+    from repro.data.synthetic import synthesize_trace
+    from repro.loadtest import LoadTestConfig, run_loadtest
+    from repro.loadtest.harness import _get_json
+
+    server = None
+    engine = None
+    if args.url:
+        from urllib.parse import urlparse
+
+        parsed = urlparse(args.url)
+        if parsed.hostname is None or parsed.port is None:
+            print("loadtest: --url must look like http://host:port",
+                  file=sys.stderr)
+            return 2
+        host, port = parsed.hostname, parsed.port
+        try:
+            health = _get_json(host, port, "/health", args.timeout_s)
+        except OSError as error:
+            print(f"loadtest: cannot reach {args.url}: {error}",
+                  file=sys.stderr)
+            return 2
+        user_pool = args.user_pool or health.get("num_users") or 1000
+        num_items = args.num_items or health.get("num_items") or 500
+    elif args.checkpoint:
+        from repro.serve import RecommendationServer
+
+        engine = _build_engine(args)
+        server = RecommendationServer(
+            engine, host="127.0.0.1", port=0, max_inflight=args.max_inflight
+        )
+        host, port = server.address
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        user_pool = args.user_pool or engine.dataset.num_users
+        num_items = args.num_items or engine.dataset.num_items
+    else:
+        print("loadtest: provide --url (running server) or --checkpoint "
+              "(self-hosted)", file=sys.stderr)
+        return 2
+
+    events = args.events if args.events is not None else (
+        200 if args.quick else 10_000
+    )
+    trace = synthesize_trace(
+        num_events=events,
+        user_pool=user_pool,
+        num_items=num_items,
+        hot_users=min(args.hot_users, user_pool),
+        hot_fraction=args.hot_fraction,
+        batch_fraction=args.batch_fraction,
+        k=args.k,
+        seed=args.trace_seed,
+    )
+    config = LoadTestConfig(
+        threads=args.threads,
+        timeout_s=args.timeout_s,
+        deadline_ms=args.request_deadline_ms,
+        pace=args.pace,
+        pace_speedup=args.pace_speedup,
+    )
+    try:
+        result = run_loadtest(trace, host, port, config)
+    finally:
+        if server is not None:
+            server.shutdown()
+        if engine is not None:
+            engine.close()
+    report = result.report()
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"report written to {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    latency = report["latency"]
+    print(
+        f"loadtest: {report['events']} events, "
+        f"{report['sequences_completed']} sequences, "
+        f"{report['qps']:.1f} qps, p50 {latency['p50_ms']:.2f}ms, "
+        f"p99 {latency['p99_ms']:.2f}ms — "
+        f"{'OK' if result.ok else 'INVARIANT VIOLATIONS'}",
+        file=sys.stderr,
+    )
+    for violation in result.violations:
+        print(f"loadtest: VIOLATION: {violation}", file=sys.stderr)
+    return 0 if result.ok else 1
 
 
 def _run_chaos(args: argparse.Namespace) -> int:
@@ -544,6 +659,84 @@ def build_parser() -> argparse.ArgumentParser:
         help="checkpoint watcher poll interval in seconds (default: 2)",
     )
 
+    p_lt = sub.add_parser(
+        "loadtest",
+        help="replay synthetic traffic against a server and gate the "
+        "serving invariants (docs/SCALING.md)",
+    )
+    _add_serving_arguments(p_lt, checkpoint_required=False)
+    p_lt.add_argument(
+        "--url",
+        default=None,
+        help="target a running server (http://host:port); omit to "
+        "self-host from --checkpoint on an ephemeral port",
+    )
+    p_lt.add_argument(
+        "--events",
+        type=int,
+        default=None,
+        help="trace events to replay (default: 10000, or 200 with --quick)",
+    )
+    p_lt.add_argument(
+        "--quick",
+        action="store_true",
+        help="small smoke-sized trace (CI's loadtest-smoke job)",
+    )
+    p_lt.add_argument(
+        "--threads", type=int, default=4,
+        help="closed-loop client threads (default: 4)",
+    )
+    p_lt.add_argument(
+        "--trace-seed", dest="trace_seed", type=int, default=0,
+        help="traffic-trace seed (same seed ⇒ byte-identical trace)",
+    )
+    p_lt.add_argument(
+        "--hot-users", dest="hot_users", type=int, default=200,
+        help="Zipf head of returning users (default: 200)",
+    )
+    p_lt.add_argument(
+        "--hot-fraction", dest="hot_fraction", type=float, default=0.6,
+        help="probability a sequence belongs to a hot user (default: 0.6)",
+    )
+    p_lt.add_argument(
+        "--batch-fraction", dest="batch_fraction", type=float, default=0.3,
+        help="probability an event is a /recommend/batch call (default: 0.3)",
+    )
+    p_lt.add_argument(
+        "--user-pool", dest="user_pool", type=int, default=None,
+        help="hot-user id space (default: the server's num_users)",
+    )
+    p_lt.add_argument(
+        "--num-items", dest="num_items", type=int, default=None,
+        help="item-id space for cold sequences (default: the server's "
+        "num_items)",
+    )
+    p_lt.add_argument("--k", type=int, default=10)
+    p_lt.add_argument(
+        "--request-deadline-ms", dest="request_deadline_ms", type=float,
+        default=None,
+        help="stamp this deadline budget onto every replayed payload",
+    )
+    p_lt.add_argument(
+        "--timeout-s", dest="timeout_s", type=float, default=30.0,
+        help="client HTTP timeout per request (default: 30)",
+    )
+    p_lt.add_argument(
+        "--pace", action="store_true",
+        help="open-loop replay honouring the trace's bursty arrival "
+        "times instead of going flat out",
+    )
+    p_lt.add_argument(
+        "--pace-speedup", dest="pace_speedup", type=float, default=1.0,
+        help="divide arrival gaps by this factor under --pace",
+    )
+    p_lt.add_argument(
+        "--max-inflight", dest="max_inflight", type=int, default=64,
+        help="admission bound of the self-hosted server (ignored with "
+        "--url)",
+    )
+    p_lt.add_argument("--output", help="write the JSON report here")
+
     p_ch = sub.add_parser(
         "chaos",
         help="serving chaos scenario: faults, shedding, hot reload, recovery",
@@ -802,6 +995,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_stats(args)
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "loadtest":
+        return _run_loadtest(args)
     if args.command == "recommend":
         return _run_recommend(args)
     if args.command == "chaos":

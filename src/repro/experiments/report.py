@@ -35,6 +35,7 @@ SECTION_ORDER = (
     "compute_core",
     "resilience",
     "retrieval",
+    "serving_scale",
 )
 
 

@@ -39,6 +39,7 @@ from repro.serve.requests import (
     read_requests_file,
 )
 from repro.serve.resilience import (
+    REFUSAL_REASONS,
     AdmissionController,
     BreakerConfig,
     CircuitBreaker,
@@ -51,6 +52,13 @@ from repro.serve.resilience import (
     ShedRequest,
 )
 from repro.serve.server import BodyTooLarge, CheckpointWatcher, RecommendationServer
+from repro.serve.shard import (
+    partition_requests,
+    shard_for_request,
+    shard_for_sequence,
+    shard_for_user,
+)
+from repro.serve.workers import ShardedEngine, SharedModelState
 
 __all__ = [
     "AdmissionController",
@@ -67,6 +75,7 @@ __all__ = [
     "LatencyHistogram",
     "ModelSwapError",
     "PopularityFallback",
+    "REFUSAL_REASONS",
     "RecRequest",
     "Recommendation",
     "RecommendationEngine",
@@ -77,8 +86,14 @@ __all__ = [
     "ServeConfig",
     "ServingMetrics",
     "ServingUnavailable",
+    "ShardedEngine",
+    "SharedModelState",
     "ShedRequest",
+    "partition_requests",
     "read_requests_file",
     "run_chaos",
     "sequence_key",
+    "shard_for_request",
+    "shard_for_sequence",
+    "shard_for_user",
 ]

@@ -247,6 +247,11 @@ class RecommendationEngine:
         rejected) for ``score_sequences``-only models.
     """
 
+    #: Single-process engines are not safe for concurrent scoring; the
+    #: HTTP server serializes requests behind one lock unless an engine
+    #: (e.g. :class:`repro.serve.workers.ShardedEngine`) flips this.
+    thread_safe = False
+
     def __init__(
         self,
         model,
@@ -731,6 +736,14 @@ class RecommendationEngine:
     def invalidate_cache(self) -> None:
         """Drop every cached representation (after a weight update)."""
         self.cache.clear()
+
+    def close(self) -> None:
+        """Release engine resources (a no-op for the in-process engine).
+
+        Exists so servers and CLIs can shut any engine flavour down
+        uniformly; :class:`repro.serve.workers.ShardedEngine` overrides
+        this to stop its worker pool and retire shared memory.
+        """
 
     # ------------------------------------------------------------------
     # Pipeline stages

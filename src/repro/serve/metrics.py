@@ -41,12 +41,18 @@ class ServingMetrics:
 
     All state lives in a :class:`repro.obs.registry.MetricsRegistry`;
     pass one in to share instruments with a wider observability setup
-    (e.g. a :class:`repro.obs.RunObserver`).
+    (e.g. a :class:`repro.obs.RunObserver`).  ``seed`` threads into the
+    registry's reservoir RNGs so exported percentiles are
+    deterministic run to run (ignored when ``registry`` is supplied).
     """
 
-    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+    def __init__(
+        self, registry: MetricsRegistry | None = None, seed: int = 0
+    ) -> None:
         self.started_at = time.time()
-        self.registry = registry if registry is not None else MetricsRegistry()
+        self.registry = (
+            registry if registry is not None else MetricsRegistry(seed=seed)
+        )
 
     # ------------------------------------------------------------------
     # Recording
@@ -117,23 +123,57 @@ class ServingMetrics:
 
     def snapshot(self) -> dict:
         """The full metrics state as a JSON-friendly dict."""
+        return self._snapshot_of(self.registry)
+
+    def _snapshot_of(self, registry: MetricsRegistry) -> dict:
+        """The serving snapshot schema computed over ``registry``."""
+        counters = registry.counter_values()
+        hits = counters.get("user_cache_hits", 0)
+        misses = counters.get("user_cache_misses", 0)
+        lookups = hits + misses
+        elapsed = time.time() - self.started_at
         return {
-            "uptime_seconds": time.time() - self.started_at,
-            "counters": self.counters,
+            "uptime_seconds": elapsed,
+            "counters": counters,
             "gauges": {
-                name: gauge.value
-                for name, gauge in self.registry.gauges.items()
+                name: gauge.value for name, gauge in registry.gauges.items()
             },
             "cache": {
-                "hits": self._count("user_cache_hits"),
-                "misses": self._count("user_cache_misses"),
-                "hit_rate": self.cache_hit_rate,
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": hits / lookups if lookups else 0.0,
             },
-            "throughput": {"requests_per_second": self.requests_per_second},
+            "throughput": {
+                "requests_per_second": (
+                    counters.get("requests", 0) / elapsed if elapsed > 0 else 0.0
+                )
+            },
             "latency": {
-                name: hist.summary() for name, hist in self.stages.items()
+                name: hist.summary()
+                for name, hist in registry.histograms.items()
             },
         }
+
+    def state(self, sample_cap: int | None = None) -> dict:
+        """Mergeable raw state (see :meth:`MetricsRegistry.state`)."""
+        return self.registry.state(sample_cap=sample_cap)
+
+    def merged_snapshot(self, states: list[dict]) -> dict:
+        """One snapshot over this facade's registry plus ``states``.
+
+        The sharded serving frontend passes each worker's
+        :meth:`state` payload; counters add, gauges take the max with
+        the frontend's own gauges overlaid (the frontend is
+        authoritative for ``model_version`` and admission gauges), and
+        histograms merge reservoirs into a scratch registry so
+        repeated exports never double count.
+        """
+        merged = MetricsRegistry.from_states(
+            [self.registry.state()] + list(states), seed=self.registry.seed
+        )
+        for name, gauge in self.registry.gauges.items():
+            merged.gauge(name).set(gauge.value)
+        return self._snapshot_of(merged)
 
     def to_json(self, indent: int = 2) -> str:
         """Serialize :meth:`snapshot` as JSON."""

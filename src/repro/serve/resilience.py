@@ -62,6 +62,7 @@ __all__ = [
     "REASON_DEADLINE",
     "REASON_QUEUE_FULL",
     "REASON_SHED",
+    "REFUSAL_REASONS",
 ]
 
 # Machine-readable reason codes for structured error responses.
@@ -69,6 +70,12 @@ REASON_BAD_REQUEST = "bad_request"
 REASON_SHED = "shed"
 REASON_QUEUE_FULL = "queue_full"
 REASON_DEADLINE = "deadline_exceeded"
+
+#: Reason codes that are *legitimate refusals* under load: shedding,
+#: queue overflow and blown deadlines.  The load-test harness
+#: (:mod:`repro.loadtest`) allows non-200 responses carrying these and
+#: fails the run on anything else (``internal``, unexplained statuses).
+REFUSAL_REASONS = frozenset({REASON_SHED, REASON_QUEUE_FULL, REASON_DEADLINE})
 
 # Circuit-breaker states.
 BREAKER_CLOSED = "closed"

@@ -34,6 +34,7 @@ from __future__ import annotations
 import json
 import threading
 import time
+from contextlib import nullcontext
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.nn.serialization import CheckpointError
@@ -141,7 +142,14 @@ class RecommendationServer:
         retry_after_s: float = 1.0,
     ) -> None:
         self.engine = engine
-        self._lock = threading.Lock()
+        # Single-process engines are not safe for concurrent scoring,
+        # so requests serialize behind one lock; a thread-safe engine
+        # (the sharded worker pool) serves HTTP threads concurrently.
+        self._lock = (
+            nullcontext()
+            if getattr(engine, "thread_safe", False)
+            else threading.Lock()
+        )
         self.admission = AdmissionController(
             max_inflight=max_inflight,
             retry_after_s=retry_after_s,
@@ -222,6 +230,9 @@ class RecommendationServer:
             payload["checkpoint"] = self.engine.checkpoint_path
         if self.engine.index is not None:
             payload["index"] = self.engine.index.stats()
+        worker_info = getattr(self.engine, "worker_info", None)
+        if worker_info is not None:
+            payload["workers"] = worker_info()
         return payload
 
     def watch_checkpoints(self, directory: str, interval_s: float = 2.0) -> None:

@@ -1,0 +1,81 @@
+"""Stable user-hash sharding for the multi-worker serving frontend.
+
+Every scoring worker owns one shard of the representation cache, so a
+given user (or live session) must always route to the same worker —
+otherwise repeat visitors never hit their cached representation.  The
+assignment therefore has to be:
+
+* **stable** — a pure function of the request identity and the shard
+  count, identical across processes, restarts and platforms (no
+  ``hash()``, whose string/bytes variant is salted per process);
+* **total** — every request maps to exactly one shard, so partitioning
+  a batch preserves it exactly;
+* **balanced** — close to uniform over shards even when the *traffic*
+  is heavily Zipf-skewed, because the hash mixes user ids before the
+  modulo (property-tested in ``tests/serve/test_shard.py``).
+
+User-id requests shard on the user id; raw-sequence requests shard on
+the exact item-id sequence (the same bytes that key the representation
+cache, :func:`repro.serve.engine.sequence_key`), so a live session
+sticks to one worker's cache for its whole lifetime.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = [
+    "partition_requests",
+    "shard_for_request",
+    "shard_for_sequence",
+    "shard_for_user",
+    "stable_hash",
+]
+
+
+def stable_hash(data: bytes) -> int:
+    """A process-stable 64-bit hash of ``data`` (blake2b, fixed salt)."""
+    return int.from_bytes(
+        hashlib.blake2b(data, digest_size=8).digest(), "little"
+    )
+
+
+def _check_shards(num_shards: int) -> None:
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be positive, got {num_shards}")
+
+
+def shard_for_user(user: int, num_shards: int) -> int:
+    """The shard owning dataset user ``user``."""
+    _check_shards(num_shards)
+    return stable_hash(b"user:%d" % int(user)) % num_shards
+
+
+def shard_for_sequence(sequence, num_shards: int) -> int:
+    """The shard owning a raw item-id ``sequence`` (exact-bytes key)."""
+    _check_shards(num_shards)
+    key = np.asarray(sequence, dtype=np.int64).tobytes()
+    return stable_hash(b"seq:" + key) % num_shards
+
+
+def shard_for_request(request, num_shards: int) -> int:
+    """The shard a :class:`~repro.serve.requests.RecRequest` routes to."""
+    if request.user is not None:
+        return shard_for_user(request.user, num_shards)
+    return shard_for_sequence(request.sequence, num_shards)
+
+
+def partition_requests(requests, num_shards: int) -> dict[int, list[int]]:
+    """Partition a batch into ``{shard: [request indices]}``.
+
+    Indices preserve the caller's order within each shard, so merging
+    per-shard responses back by position reconstructs the original
+    batch exactly (total-preserving; property-tested).
+    """
+    _check_shards(num_shards)
+    by_shard: dict[int, list[int]] = {}
+    for i, request in enumerate(requests):
+        by_shard.setdefault(shard_for_request(request, num_shards), []).append(i)
+    return by_shard

@@ -1,0 +1,842 @@
+"""Multi-process sharded serving: N scoring workers over shared memory.
+
+Scale-out layer for :class:`repro.serve.engine.RecommendationEngine`.
+One *template* engine (built exactly like the single-process path) is
+wrapped by :class:`ShardedEngine`, which
+
+* publishes the model weights and the item-embedding matrix once into a
+  read-only ``multiprocessing.shared_memory`` segment
+  (:class:`SharedModelState`) — workers map it zero-copy, so N workers
+  cost one copy of the weights, not N;
+* forks N scoring workers, each running its **own**
+  :class:`~repro.serve.engine.RecommendationEngine` whose parameters
+  and retrieval index are views into that segment, with a private
+  per-shard LRU representation cache and its own resilience policy and
+  metrics registry — no cross-process locks anywhere on the hot path;
+* routes every request to a worker by the stable user-hash sharding in
+  :mod:`repro.serve.shard` (so a returning user always hits the worker
+  holding their cached representation), fans a batch out over pipes and
+  merges the per-shard top-k responses back into request order.
+
+``workers=0`` (the :class:`~repro.serve.config.ServeConfig` default)
+never constructs this class, so the single-process path is replayed
+bit-identically; with ``ExactIndex`` the sharded path returns the same
+items and scores as well (property-tested in
+``tests/serve/test_workers.py``) because scoring batches are padded to
+a fixed length and therefore batch-composition independent.
+
+Shared-memory lifecycle protocol (leak-free by construction): the
+parent *creates* every segment and is the only process to ``unlink()``
+it, exactly once; workers only ever *attach* and ``close()``.  Model
+swaps publish a brand-new segment and retire the old one after every
+worker acknowledged the switch — a segment is never written again once
+workers can see it, so torn reads are impossible (worker views are
+read-only ndarrays; a stray write raises instead of corrupting).
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import threading
+import time
+from contextlib import ExitStack
+from multiprocessing.shared_memory import SharedMemory
+
+import numpy as np
+
+from repro.retrieval import INDEX_KINDS
+from repro.retrieval.exact import ExactIndex
+from repro.serve.engine import EngineOverloaded, RecommendationEngine
+from repro.serve.metrics import ServingMetrics
+from repro.serve.requests import Recommendation, RecRequest, RequestError
+from repro.serve.resilience import (
+    REASON_BAD_REQUEST,
+    REASON_DEADLINE,
+    DeadlineExceeded,
+)
+from repro.serve.shard import partition_requests, shard_for_user
+
+__all__ = [
+    "MATRIX_KEY",
+    "SharedModelState",
+    "ShardedEngine",
+]
+
+#: Reserved entry name for the item-embedding matrix inside a shared
+#: segment (model parameters use their ``state_dict`` names, which are
+#: dotted identifiers and can never collide with the dunder form).
+MATRIX_KEY = "__item_matrix__"
+
+#: Reservoir samples each worker ships per histogram on a ``/metrics``
+#: export; aggregates (count/total/max) stay exact regardless.
+METRICS_SAMPLE_CAP = 4096
+
+_segment_counter = itertools.count()
+
+
+class SharedModelState:
+    """One read-only shared-memory segment holding arrays by name.
+
+    The parent builds it with :meth:`create` (weights + item matrix,
+    64-byte aligned, written once); workers :meth:`attach` by name and
+    read through :attr:`views` — read-only ndarrays backed directly by
+    the segment, so attaching costs pages, not copies.
+    """
+
+    def __init__(self, shm: SharedMemory, entries: dict, generation: int,
+                 owner: bool) -> None:
+        self.shm = shm
+        self.entries = entries
+        self.generation = int(generation)
+        self.owner = owner
+        self.views: dict[str, np.ndarray] = {}
+        for name, (offset, shape, dtype) in entries.items():
+            view = np.ndarray(
+                tuple(shape), dtype=np.dtype(dtype), buffer=shm.buf,
+                offset=offset,
+            )
+            view.flags.writeable = False
+            self.views[name] = view
+
+    @classmethod
+    def create(cls, arrays: dict[str, np.ndarray],
+               generation: int) -> "SharedModelState":
+        """Publish ``arrays`` into a fresh segment (the caller owns it)."""
+        entries: dict[str, tuple] = {}
+        offset = 0
+        contiguous = {}
+        for name, array in arrays.items():
+            array = np.ascontiguousarray(array)
+            offset = (offset + 63) // 64 * 64  # 64-byte align every array
+            entries[name] = (offset, array.shape, array.dtype.str)
+            contiguous[name] = array
+            offset += array.nbytes
+        shm = SharedMemory(
+            name=f"repro-serve-{os.getpid()}-{next(_segment_counter)}-"
+                 f"{os.urandom(3).hex()}",
+            create=True,
+            size=max(offset, 1),
+        )
+        for name, array in contiguous.items():
+            start = entries[name][0]
+            staging = np.ndarray(
+                array.shape, dtype=array.dtype, buffer=shm.buf, offset=start
+            )
+            staging[...] = array
+            del staging  # release the writable view before exposing
+        return cls(shm, entries, generation, owner=True)
+
+    def meta(self) -> dict:
+        """Picklable attachment handle (segment name + layout)."""
+        return {
+            "name": self.shm.name,
+            "entries": self.entries,
+            "generation": self.generation,
+        }
+
+    @classmethod
+    def attach(cls, meta: dict) -> "SharedModelState":
+        """Map an existing segment created by another process."""
+        shm = SharedMemory(name=meta["name"])
+        return cls(shm, meta["entries"], meta["generation"], owner=False)
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The read-only item-embedding matrix view."""
+        return self.views[MATRIX_KEY]
+
+    def weight_views(self) -> dict[str, np.ndarray]:
+        """Parameter-name -> read-only view (the matrix excluded)."""
+        return {
+            name: view for name, view in self.views.items()
+            if name != MATRIX_KEY
+        }
+
+    def close(self) -> None:
+        """Drop this process's mapping (the segment itself survives)."""
+        self.views = {}
+        try:
+            self.shm.close()
+        except BufferError:
+            # Some ndarray view (an old index, a cached row) still pins
+            # the buffer; the mapping is released when it dies and the
+            # fd at process exit — never an error worth crashing over.
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment (parent/owner only, exactly once)."""
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+def _adopt_shared_weights(model, views: dict[str, np.ndarray]) -> None:
+    """Point every model parameter at its read-only shared view.
+
+    ``Module.load_state_dict`` copies; assigning ``param.data`` directly
+    is the zero-copy adoption point.  Shapes and dtypes must match the
+    model exactly — the segment was written from the same architecture's
+    ``state_dict``, so a mismatch means a wiring bug, not bad input.
+    """
+    for name, param in model.named_parameters():
+        view = views.get(name)
+        if view is None:
+            raise KeyError(f"shared segment is missing parameter {name!r}")
+        data = np.asarray(param.data)
+        if view.shape != data.shape or view.dtype != data.dtype:
+            raise ValueError(
+                f"shared parameter {name!r} is {view.shape} {view.dtype} "
+                f"but the model expects {data.shape} {data.dtype}"
+            )
+        param.data = view
+
+
+def _build_worker_index(kind: str, params: dict, matrix: np.ndarray):
+    """A worker-local index over the shared matrix view.
+
+    ``ExactIndex.build`` keeps a contiguous view by reference, so the
+    default retrieval path is fully zero-copy; approximate kinds rebuild
+    their structures locally from the same hyperparameters (their
+    training is seeded through ``params``, so workers agree).
+    """
+    if kind == "exact":
+        return ExactIndex().build(matrix)
+    return INDEX_KINDS[kind].from_kind(kind, **params).build(matrix)
+
+
+def _result_payload(result: Recommendation) -> dict:
+    """The picklable part of a Recommendation (the request stays local)."""
+    return {
+        "items": result.items,
+        "scores": result.scores,
+        "cached": result.cached,
+        "degraded": result.degraded,
+        "fallback": result.fallback,
+        "error": result.error,
+        "detail": result.detail,
+        "model_version": result.model_version,
+    }
+
+
+def _worker_main(conn, spec: dict) -> None:
+    """Scoring-worker entry point: build a private engine, serve commands.
+
+    The worker attaches the shared segment, adopts weights and matrix
+    zero-copy, then loops over pipe commands.  Engine-level request
+    failures travel back inside result payloads (``on_error="report"``);
+    only command-level faults use the ``("error", exc)`` reply.
+    """
+    try:
+        shared = SharedModelState.attach(spec["shared"])
+        model = spec["model"]
+        _adopt_shared_weights(model, shared.weight_views())
+        index = _build_worker_index(
+            spec["index_kind"], spec["index_params"], shared.matrix
+        )
+        engine = RecommendationEngine(
+            model,
+            spec["dataset"],
+            max_batch_size=spec["max_batch_size"],
+            cache_size=spec["cache_size"],
+            max_queue=spec["max_queue"],
+            split=spec["split"],
+            metrics=ServingMetrics(seed=spec["metrics_seed"]),
+            resilience=spec["resilience"],
+            faults=spec["faults"],
+            index=index,
+        )
+        engine.model_version = spec["model_version"]
+        engine.checkpoint_path = spec["checkpoint_path"]
+        engine.metrics.set_gauge("model_version", engine.model_version)
+    except BaseException as error:  # surface startup failures to the parent
+        _send_error(conn, error)
+        conn.close()
+        return
+
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        command = message[0]
+        try:
+            if command == "recommend":
+                __, requests, started = message
+                results = engine.recommend_batch(
+                    requests, started=started, on_error="report"
+                )
+                conn.send(("ok", [_result_payload(r) for r in results]))
+            elif command == "swap":
+                __, meta, checkpoint, version, step = message
+                new_state = SharedModelState.attach(meta)
+                _adopt_shared_weights(model, new_state.weight_views())
+                engine.index = engine.index.rebuild(new_state.matrix)
+                engine.invalidate_cache()
+                engine.model_version = version
+                engine.checkpoint_path = checkpoint
+                # The frontend counts the swap (merged counters *add*,
+                # so a per-worker increment would multiply one swap by
+                # the worker count); workers only publish the gauge.
+                engine.metrics.set_gauge("model_version", version)
+                old, shared = shared, new_state
+                old.close()
+                conn.send(("ok", {"model_version": version, "step": step}))
+            elif command == "metrics":
+                conn.send(("ok", engine.metrics.state(sample_cap=message[1])))
+            elif command == "invalidate":
+                engine.invalidate_cache()
+                conn.send(("ok", None))
+            elif command == "warm":
+                conn.send(("ok", engine.warm(np.asarray(message[1]))))
+            elif command == "set_faults":
+                engine.faults = message[1]
+                conn.send(("ok", None))
+            elif command == "stats":
+                conn.send(("ok", {
+                    "pid": os.getpid(),
+                    "cache_entries": len(engine.cache),
+                    "cache_size": engine.cache.maxsize,
+                    "model_version": engine.model_version,
+                    "generation": shared.generation,
+                }))
+            elif command == "shutdown":
+                conn.send(("ok", None))
+                break
+            else:
+                conn.send(("error", ValueError(f"unknown command {command!r}")))
+        except BaseException as error:
+            _send_error(conn, error)
+
+    shared.close()
+    conn.close()
+
+
+def _send_error(conn, error: BaseException) -> None:
+    """Ship an exception to the parent, degrading to a plain message."""
+    try:
+        conn.send(("error", error))
+    except Exception:
+        try:
+            conn.send(("error", RuntimeError(
+                f"{type(error).__name__}: {error}")))
+        except Exception:
+            pass
+
+
+class _FrontendMetrics(ServingMetrics):
+    """The frontend facade's registry merged live with every worker's.
+
+    ``snapshot()`` (the ``/metrics`` payload) pulls each worker's raw
+    registry state and merges it into a scratch registry together with
+    the frontend's own counters and gauges, so repeated exports never
+    double count and worker shutdown keeps the last observed state.
+    """
+
+    def __init__(self, engine: "ShardedEngine", seed: int = 0) -> None:
+        super().__init__(seed=seed)
+        self._engine = engine
+
+    def snapshot(self) -> dict:
+        snap = self.merged_snapshot(self._engine._worker_states())
+        snap["workers"] = self._engine.worker_info()
+        return snap
+
+
+class ShardedEngine:
+    """Fan requests out over N worker processes; merge top-k back.
+
+    Drop-in for :class:`RecommendationEngine` as far as
+    :class:`~repro.serve.server.RecommendationServer` and the CLI are
+    concerned: ``recommend`` / ``recommend_batch`` / ``submit`` /
+    ``flush`` / ``swap_model`` / ``warm`` / ``invalidate_cache`` /
+    ``metrics`` / ``close`` all exist with the same semantics.  Unlike
+    the single-process engine it is **thread-safe** (``thread_safe =
+    True``): per-shard pipe locks serialize each worker's channel while
+    different shards serve concurrently, so the HTTP server skips its
+    global scoring lock and real parallelism reaches the workers.
+
+    ``template`` is a fully built single-process engine; it contributes
+    the weights, dataset, index hyperparameters, resilience config and
+    fault injector, and keeps handling validation-heavy control work
+    (``swap_model`` probes) while the workers do all scoring.
+    """
+
+    thread_safe = True
+
+    def __init__(
+        self,
+        template: RecommendationEngine,
+        workers: int,
+        start_method: str | None = None,
+        worker_cache_size: int | None = None,
+        metrics_seed: int = 0,
+        worker_timeout_s: float = 120.0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
+        if template.index is None:
+            raise TypeError(
+                "sharded serving needs the representation API (an item "
+                "index); score_sequences-only models must serve with "
+                "workers=0"
+            )
+        self._template = template
+        self.workers = int(workers)
+        self.worker_timeout_s = float(worker_timeout_s)
+        self.metrics = _FrontendMetrics(self, seed=metrics_seed)
+        self.metrics.touch("fanout_batches")
+        self._swap_lock = threading.Lock()
+        self._queue: list[RecRequest] = []
+        self._completed: list[Recommendation] = []
+        self._closed = False
+        self._final_states: list[dict] = []
+
+        context = multiprocessing.get_context(start_method or "fork")
+        self.start_method = context.get_start_method()
+        arrays = dict(template.model.state_dict())
+        if MATRIX_KEY in arrays:
+            raise ValueError(f"model state dict uses reserved key {MATRIX_KEY!r}")
+        arrays[MATRIX_KEY] = template.index.matrix
+        self._shared = SharedModelState.create(
+            arrays, generation=template.model_version
+        )
+
+        # Memory parity with the single-process engine: the configured
+        # cache budget is split across shards unless overridden.
+        if worker_cache_size is None:
+            worker_cache_size = max(1, template.cache.maxsize // workers)
+        resilience = (
+            template.policy.config if template.policy is not None else None
+        )
+        self._conns = []
+        self._locks = [threading.Lock() for __ in range(workers)]
+        self._procs = []
+        try:
+            for shard in range(workers):
+                parent_conn, child_conn = context.Pipe()
+                spec = {
+                    "shared": self._shared.meta(),
+                    "model": template.model,
+                    "dataset": template.dataset,
+                    "max_batch_size": template.max_batch_size,
+                    "cache_size": worker_cache_size,
+                    "max_queue": template.max_queue,
+                    "split": template.split,
+                    "metrics_seed": metrics_seed + shard + 1,
+                    "resilience": resilience,
+                    "faults": template.faults,
+                    "index_kind": template.index.kind,
+                    "index_params": template.index._artifact_params(),
+                    "model_version": template.model_version,
+                    "checkpoint_path": template.checkpoint_path,
+                }
+                process = context.Process(
+                    target=_worker_main,
+                    args=(child_conn, spec),
+                    name=f"repro-scoring-worker-{shard}",
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                self._conns.append(parent_conn)
+                self._procs.append(process)
+            for shard in range(workers):  # startup handshake
+                self._send(shard, ("stats",))
+            for shard in range(workers):
+                self._recv(shard)
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _send(self, shard: int, message) -> None:
+        """Send one command to ``shard``, surfacing worker death."""
+        try:
+            self._conns[shard].send(message)
+        except (BrokenPipeError, OSError) as error:
+            process = self._procs[shard] if shard < len(self._procs) else None
+            exitcode = process.exitcode if process is not None else None
+            raise RuntimeError(
+                f"scoring worker {shard} died (exit code {exitcode})"
+            ) from error
+
+    def _recv(self, shard: int):
+        """One reply off ``shard``'s pipe (raises worker-side errors)."""
+        conn = self._conns[shard]
+        deadline = time.monotonic() + self.worker_timeout_s
+        while not conn.poll(0.05):
+            process = self._procs[shard] if shard < len(self._procs) else None
+            if process is not None and not process.is_alive():
+                if conn.poll(0):  # drain a reply racing the exit
+                    break
+                raise RuntimeError(
+                    f"scoring worker {shard} died "
+                    f"(exit code {process.exitcode})"
+                )
+            if time.monotonic() >= deadline:
+                raise RuntimeError(
+                    f"scoring worker {shard} did not reply within "
+                    f"{self.worker_timeout_s:g}s"
+                )
+        try:
+            status, payload = conn.recv()
+        except (EOFError, OSError) as error:
+            raise RuntimeError(
+                f"scoring worker {shard} exited unexpectedly"
+            ) from error
+        if status == "error":
+            if isinstance(payload, BaseException):
+                raise payload
+            raise RuntimeError(str(payload))
+        return payload
+
+    def _hold(self, shards) -> ExitStack:
+        """Acquire the given shard locks in sorted order (no deadlocks)."""
+        stack = ExitStack()
+        for shard in sorted(shards):
+            stack.enter_context(self._locks[shard])
+        return stack
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("the worker pool is closed")
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def recommend(
+        self,
+        user: int | None = None,
+        sequence=None,
+        k: int = 10,
+        exclude_seen: bool = True,
+        deadline_ms: float | None = None,
+    ) -> Recommendation:
+        """Serve a single request (convenience over :meth:`recommend_batch`)."""
+        request = RecRequest(
+            user=user,
+            sequence=tuple(sequence) if sequence is not None else None,
+            k=k,
+            exclude_seen=exclude_seen,
+            deadline_ms=deadline_ms,
+        )
+        return self.recommend_batch([request])[0]
+
+    def recommend_batch(
+        self,
+        requests: list[RecRequest],
+        started: float | None = None,
+        on_error: str = "raise",
+    ) -> list[Recommendation]:
+        """Partition by user hash, fan out, merge back in request order.
+
+        ``started`` transfers across processes untouched —
+        ``time.monotonic`` is system-wide on Linux, so deadline budgets
+        anchored at HTTP arrival time hold inside the workers too.
+        Workers always score with ``on_error="report"``; for
+        ``on_error="raise"`` the frontend re-raises the first reported
+        failure in request order, matching the single-process contract.
+        """
+        if on_error not in ("raise", "report"):
+            raise ValueError(
+                f"on_error must be 'raise' or 'report', got {on_error!r}"
+            )
+        if not requests:
+            return []
+        self._check_open()
+        if started is None:
+            started = (
+                self._template.policy.clock()
+                if self._template.policy is not None
+                else time.monotonic()
+            )
+        partition = partition_requests(requests, self.workers)
+        results: list[Recommendation | None] = [None] * len(requests)
+        with self.metrics.time_stage("fanout"):
+            with self._hold(partition):
+                shards = sorted(partition)
+                for shard in shards:
+                    self._send(shard, (
+                        "recommend",
+                        [requests[i] for i in partition[shard]],
+                        started,
+                    ))
+                for shard in shards:
+                    payloads = self._recv(shard)
+                    for i, payload in zip(partition[shard], payloads):
+                        results[i] = Recommendation(
+                            request=requests[i], **payload
+                        )
+        self.metrics.increment("fanout_batches")
+        if on_error == "raise":
+            for result in results:
+                if result.error == REASON_BAD_REQUEST:
+                    raise RequestError(result.detail)
+                if result.error == REASON_DEADLINE:
+                    raise DeadlineExceeded(result.detail)
+        return results
+
+    # ------------------------------------------------------------------
+    # Request coalescing (frontend-side queue, same contract as engine)
+    # ------------------------------------------------------------------
+    def submit(self, request: RecRequest) -> None:
+        """Queue one request; auto-flushes a micro-batch when full."""
+        if len(self._queue) + len(self._completed) >= self.max_queue:
+            raise EngineOverloaded(
+                f"queue full ({self.max_queue} pending); call flush()"
+            )
+        self._queue.append(request)
+        if len(self._queue) >= self.max_batch_size:
+            self._process_queue()
+
+    def flush(self) -> list[Recommendation]:
+        """Process queued requests and return all pending results in order."""
+        self._process_queue()
+        completed, self._completed = self._completed, []
+        return completed
+
+    @property
+    def pending(self) -> int:
+        """Requests submitted but not yet collected via :meth:`flush`."""
+        return len(self._queue) + len(self._completed)
+
+    def _process_queue(self) -> None:
+        if self._queue:
+            queued, self._queue = self._queue, []
+            self._completed.extend(
+                self.recommend_batch(queued, on_error="report")
+            )
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+    def swap_model(self, checkpoint, probe: bool = True) -> dict:
+        """Validate on the template, then publish to every worker.
+
+        The template engine performs the full crash-safe swap first
+        (checksum, state-dict fit, probe) — a bad checkpoint never
+        reaches a worker.  On success a *new* shared segment is written,
+        all shard locks are taken (quiescing traffic so no request
+        spans the flip), every worker re-points its weights and index
+        and acknowledges, and only then is the old segment retired.
+        Workers therefore never serve a stale ``model_version`` after
+        the swap returns.
+        """
+        self._check_open()
+        with self._swap_lock:
+            info = self._template.swap_model(checkpoint, probe=probe)
+            arrays = dict(self._template.model.state_dict())
+            arrays[MATRIX_KEY] = self._template.index.matrix
+            new_shared = SharedModelState.create(
+                arrays, generation=info["model_version"]
+            )
+            failures = []
+            with self._hold(range(self.workers)):
+                for shard in range(self.workers):
+                    self._send(shard, (
+                        "swap",
+                        new_shared.meta(),
+                        info["checkpoint"],
+                        info["model_version"],
+                        info["step"],
+                    ))
+                for shard in range(self.workers):
+                    try:
+                        self._recv(shard)
+                    except Exception as error:
+                        failures.append((shard, error))
+            if failures:
+                # The template already validated this checkpoint, so a
+                # worker-side failure means a dead/wedged process; the
+                # pool is no longer coherent and must be rebuilt.
+                raise RuntimeError(
+                    f"model swap failed on workers "
+                    f"{[shard for shard, __ in failures]}: {failures[0][1]}"
+                )
+            old, self._shared = self._shared, new_shared
+            old.close()
+            old.unlink()
+        self.metrics.increment("model_swaps")
+        self.metrics.set_gauge("model_version", info["model_version"])
+        return info
+
+    def warm(self, users: np.ndarray) -> int:
+        """Pre-populate each shard's cache for its own users."""
+        self._check_open()
+        by_shard: dict[int, list[int]] = {}
+        for user in np.asarray(users).tolist():
+            by_shard.setdefault(
+                shard_for_user(int(user), self.workers), []
+            ).append(int(user))
+        encoded = 0
+        for shard, shard_users in sorted(by_shard.items()):
+            with self._locks[shard]:
+                self._send(shard, ("warm", shard_users))
+                encoded += self._recv(shard)
+        return encoded
+
+    def invalidate_cache(self) -> None:
+        """Drop every shard's representation cache."""
+        self._check_open()
+        with self._hold(range(self.workers)):
+            for shard in range(self.workers):
+                self._send(shard, ("invalidate",))
+            for shard in range(self.workers):
+                self._recv(shard)
+
+    def set_faults(self, faults) -> None:
+        """Install a fault injector in every worker (chaos testing).
+
+        Fork isolates worker memory, so mutating the template's
+        injector after construction does not reach the workers; ship
+        the configured injector explicitly instead.
+        """
+        self._check_open()
+        self._template.faults = faults
+        with self._hold(range(self.workers)):
+            for shard in range(self.workers):
+                self._send(shard, ("set_faults", faults))
+            for shard in range(self.workers):
+                self._recv(shard)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def _worker_states(self) -> list[dict]:
+        """Every worker's raw metrics state (last known once closed)."""
+        if self._closed:
+            return self._final_states
+        states = []
+        for shard in range(len(self._conns)):
+            with self._locks[shard]:
+                self._send(shard, ("metrics", METRICS_SAMPLE_CAP))
+                states.append(self._recv(shard))
+        return states
+
+    def worker_info(self) -> dict:
+        """Pool shape for ``/metrics`` and ``/health`` payloads."""
+        return {
+            "count": self.workers,
+            "start_method": self.start_method,
+            "pids": [process.pid for process in self._procs],
+            "alive": sum(process.is_alive() for process in self._procs),
+        }
+
+    def worker_stats(self) -> list[dict]:
+        """Per-worker cache/version stats (stress tests, debugging)."""
+        self._check_open()
+        stats = []
+        for shard in range(self.workers):
+            with self._locks[shard]:
+                self._send(shard, ("stats",))
+                stats.append(self._recv(shard))
+        return stats
+
+    # Delegated views of the template so the HTTP server, health checks
+    # and the CLI treat both engine flavours uniformly.
+    @property
+    def model(self):
+        return self._template.model
+
+    @property
+    def dataset(self):
+        return self._template.dataset
+
+    @property
+    def index(self):
+        return self._template.index
+
+    @property
+    def policy(self):
+        return self._template.policy
+
+    @property
+    def faults(self):
+        return self._template.faults
+
+    @property
+    def cache(self):
+        return self._template.cache
+
+    @property
+    def max_batch_size(self) -> int:
+        return self._template.max_batch_size
+
+    @property
+    def max_queue(self) -> int:
+        return self._template.max_queue
+
+    @property
+    def split(self) -> str:
+        return self._template.split
+
+    @property
+    def model_version(self) -> int:
+        return self._template.model_version
+
+    @property
+    def checkpoint_path(self) -> str | None:
+        return self._template.checkpoint_path
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop every worker and retire the shared segment (idempotent).
+
+        Capture each worker's final metrics first (so post-shutdown
+        ``/metrics`` exports keep the totals), ask workers to exit,
+        escalate to terminate on stragglers, then close and unlink the
+        segment — the parent is its owner, so exactly one unlink happens
+        and the resource tracker reports no leaks at interpreter exit.
+        """
+        if self._closed:
+            return
+        try:
+            self._final_states = self._worker_states()
+        except Exception:
+            self._final_states = []
+        self._closed = True
+        conns = getattr(self, "_conns", [])
+        for shard, conn in enumerate(conns):
+            try:
+                conn.send(("shutdown",))
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+        for shard, conn in enumerate(conns):
+            try:
+                if conn.poll(timeout):
+                    conn.recv()
+            except (EOFError, OSError):
+                pass
+        for process in getattr(self, "_procs", []):
+            process.join(timeout)
+            if process.is_alive():
+                process.terminate()
+                process.join(1.0)
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        shared = getattr(self, "_shared", None)
+        if shared is not None:
+            shared.close()
+            shared.unlink()
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close(timeout=1.0)
+        except Exception:
+            pass

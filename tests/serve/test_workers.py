@@ -1,0 +1,290 @@
+"""Sharded worker-pool serving: bit-identity, swaps, lifecycle.
+
+The acceptance bar for the scale-out layer (docs/SCALING.md): with
+``ExactIndex``, ``workers=N`` must return *bit-identical* results to
+the single-process engine for the same request trace — including the
+resilience decisions (expired deadlines, fault-window degradation) —
+because scoring batches are padded to a fixed length and every worker
+runs the same engine over the same shared weights.
+"""
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentScale
+from repro.models.registry import build_model
+from repro.runtime.checkpointing import CheckpointManager
+from repro.runtime.faults import FaultInjector
+from repro.serve import (
+    RecommendationEngine,
+    RecRequest,
+    RequestError,
+    ShardedEngine,
+)
+from repro.serve.engine import sequence_key
+
+SCALE = ExperimentScale(epochs=1, dim=16, batch_size=32, max_length=12)
+
+
+def shm_segments() -> list[str]:
+    return glob.glob("/dev/shm/repro-serve-*")
+
+
+@pytest.fixture(scope="module")
+def sasrec(tiny_dataset):
+    model = build_model("SASRec", tiny_dataset, SCALE)
+    model.fit(tiny_dataset)
+    return model
+
+
+@pytest.fixture(scope="module")
+def checkpoint_dir(tmp_path_factory, sasrec):
+    path = tmp_path_factory.mktemp("worker-ckpts")
+    manager = CheckpointManager(path)
+    manager.save(
+        1, {f"model/{k}": v for k, v in sasrec.state_dict().items()}
+    )
+    return path
+
+
+def fresh_engine(checkpoint_dir, dataset, **kwargs) -> RecommendationEngine:
+    model = build_model("SASRec", dataset, SCALE)
+    return RecommendationEngine.from_checkpoint(
+        checkpoint_dir, model, dataset, **kwargs
+    )
+
+
+def mixed_requests(dataset, n: int = 32) -> list[RecRequest]:
+    """Users, raw sequences, k variations and one invalid request."""
+    requests = [
+        RecRequest(user=u, k=5 + (u % 3), exclude_seen=bool(u % 2))
+        for u in range(n)
+    ]
+    for user in range(4):
+        sequence = tuple(
+            int(i) for i in dataset.full_sequence(user, split="test")[-6:]
+        )
+        requests.append(RecRequest(sequence=sequence, k=7))
+    requests.append(RecRequest(user=dataset.num_users + 50, k=5))  # invalid
+    return requests
+
+
+def assert_identical(singles, shardeds):
+    """Bit-identical responses; only the private ``cached`` flag may
+    differ (it is not serialized to the wire)."""
+    assert len(singles) == len(shardeds)
+    for single, sharded in zip(singles, shardeds):
+        assert np.array_equal(single.items, sharded.items)
+        assert np.array_equal(single.scores, sharded.scores)
+        assert single.error == sharded.error
+        assert single.detail == sharded.detail
+        assert single.degraded == sharded.degraded
+        assert single.fallback == sharded.fallback
+        assert single.model_version == sharded.model_version
+        assert single.to_dict() == sharded.to_dict()
+
+
+# ----------------------------------------------------------------------
+# Bit-identity with the single-process path
+# ----------------------------------------------------------------------
+def test_workers_bit_identical_to_single_process(checkpoint_dir, tiny_dataset):
+    single = fresh_engine(checkpoint_dir, tiny_dataset)
+    requests = mixed_requests(tiny_dataset)
+    expected = single.recommend_batch(requests, on_error="report")
+    with ShardedEngine(
+        fresh_engine(checkpoint_dir, tiny_dataset), workers=3
+    ) as sharded:
+        got = sharded.recommend_batch(requests, on_error="report")
+        assert_identical(expected, got)
+        # Replay: cache hits on both sides must not change the bytes.
+        assert_identical(expected, sharded.recommend_batch(
+            requests, on_error="report"
+        ))
+
+
+def test_workers_identical_under_fault_windows(checkpoint_dir, tiny_dataset):
+    """Chaos fault windows degrade both paths identically.
+
+    ``encode_failure_rate=1.0`` makes every encode fail in whichever
+    process runs it, so the shed/degrade decision per request cannot
+    depend on how the batch was sharded.
+    """
+    requests = [RecRequest(user=u, k=5) for u in range(24)]
+    single = fresh_engine(
+        checkpoint_dir, tiny_dataset,
+        faults=FaultInjector(encode_failure_rate=1.0, seed=0),
+    )
+    expected = single.recommend_batch(requests, on_error="report")
+    assert all(r.degraded for r in expected)  # the window really fired
+    with ShardedEngine(
+        fresh_engine(
+            checkpoint_dir, tiny_dataset,
+            faults=FaultInjector(encode_failure_rate=1.0, seed=0),
+        ),
+        workers=2,
+    ) as sharded:
+        got = sharded.recommend_batch(requests, on_error="report")
+    assert_identical(expected, got)
+
+
+def test_workers_identical_expired_deadlines(checkpoint_dir, tiny_dataset):
+    """A deadline that expired before scoring 504s identically."""
+    requests = [
+        RecRequest(user=u, k=5, deadline_ms=5.0) for u in range(12)
+    ]
+    single = fresh_engine(checkpoint_dir, tiny_dataset)
+    import time
+
+    started = time.monotonic() - 1.0  # budget blown on arrival
+    expected = single.recommend_batch(
+        requests, started=started, on_error="report"
+    )
+    assert all(r.error == "deadline_exceeded" for r in expected)
+    with ShardedEngine(
+        fresh_engine(checkpoint_dir, tiny_dataset), workers=2
+    ) as sharded:
+        got = sharded.recommend_batch(
+            requests, started=started, on_error="report"
+        )
+    assert_identical(expected, got)
+
+
+def test_raise_mode_matches_single_process(checkpoint_dir, tiny_dataset):
+    bad = RecRequest(user=tiny_dataset.num_users + 9, k=5)
+    single = fresh_engine(checkpoint_dir, tiny_dataset)
+    with pytest.raises(RequestError) as single_error:
+        single.recommend_batch([RecRequest(user=0, k=5), bad])
+    with ShardedEngine(
+        fresh_engine(checkpoint_dir, tiny_dataset), workers=2
+    ) as sharded:
+        with pytest.raises(RequestError) as sharded_error:
+            sharded.recommend_batch([RecRequest(user=0, k=5), bad])
+    assert str(single_error.value) == str(sharded_error.value)
+
+
+def test_spawn_start_method_matches_fork(checkpoint_dir, tiny_dataset):
+    """Workers must also come up under spawn (nothing fork-only in the
+    spec), and serve the same bytes."""
+    requests = [RecRequest(user=u, k=5) for u in range(8)]
+    expected = fresh_engine(checkpoint_dir, tiny_dataset).recommend_batch(
+        requests
+    )
+    with ShardedEngine(
+        fresh_engine(checkpoint_dir, tiny_dataset),
+        workers=1,
+        start_method="spawn",
+    ) as sharded:
+        assert_identical(expected, sharded.recommend_batch(requests))
+
+
+# ----------------------------------------------------------------------
+# Cache sharding
+# ----------------------------------------------------------------------
+def test_cache_shards_by_user_and_warm_routes(checkpoint_dir, tiny_dataset):
+    with ShardedEngine(
+        fresh_engine(checkpoint_dir, tiny_dataset, cache_size=64), workers=2
+    ) as sharded:
+        users = np.arange(10)
+        encoded = sharded.warm(users)
+        assert encoded == 10
+        assert sharded.warm(users) == 0  # warm again: all cached
+        result = sharded.recommend(user=3, k=5)
+        assert result.cached
+        per_worker = [s["cache_entries"] for s in sharded.worker_stats()]
+        assert sum(per_worker) == 10
+        assert all(count > 0 for count in per_worker)  # both shards used
+        assert all(s["cache_size"] == 32 for s in sharded.worker_stats())
+        sharded.invalidate_cache()
+        assert [s["cache_entries"] for s in sharded.worker_stats()] == [0, 0]
+
+
+def test_sequence_requests_stick_to_one_shard(checkpoint_dir, tiny_dataset):
+    sequence = tuple(
+        int(i) for i in tiny_dataset.full_sequence(1, split="test")[-5:]
+    )
+    with ShardedEngine(
+        fresh_engine(checkpoint_dir, tiny_dataset), workers=2
+    ) as sharded:
+        first = sharded.recommend(sequence=sequence, k=5)
+        second = sharded.recommend(sequence=sequence, k=5)
+        assert not first.cached
+        assert second.cached  # same shard served the repeat
+        assert sequence_key(np.asarray(sequence)) is not None
+
+
+# ----------------------------------------------------------------------
+# Swap + merged metrics + lifecycle
+# ----------------------------------------------------------------------
+def test_swap_propagates_to_all_workers(checkpoint_dir, tiny_dataset):
+    with ShardedEngine(
+        fresh_engine(checkpoint_dir, tiny_dataset), workers=2
+    ) as sharded:
+        assert sharded.recommend(user=1, k=5).model_version == 1
+        info = sharded.swap_model(checkpoint_dir)
+        assert info["model_version"] == 2
+        assert sharded.model_version == 2
+        for stat in sharded.worker_stats():
+            assert stat["model_version"] == 2
+            assert stat["generation"] == 2
+        assert sharded.recommend(user=1, k=5).model_version == 2
+        # Old segment retired: exactly one live segment for this pool.
+        assert len(shm_segments()) == 1
+
+
+def test_merged_metrics_snapshot(checkpoint_dir, tiny_dataset):
+    requests = [RecRequest(user=u, k=5) for u in range(20)]
+    with ShardedEngine(
+        fresh_engine(checkpoint_dir, tiny_dataset), workers=2
+    ) as sharded:
+        sharded.recommend_batch(requests)
+        snap = sharded.metrics.snapshot()
+        assert snap["counters"]["requests"] == 20
+        assert snap["counters"]["fanout_batches"] == 1
+        assert snap["workers"]["count"] == 2
+        assert snap["workers"]["alive"] == 2
+        assert snap["latency"]["total"]["count"] >= 2  # one per worker
+        # Repeated exports must not double count worker state.
+        assert sharded.metrics.snapshot()["counters"]["requests"] == 20
+        final = sharded.metrics.snapshot()
+    # After close the last observed worker totals remain readable.
+    post = sharded.metrics.snapshot()
+    assert post["counters"]["requests"] == final["counters"]["requests"]
+
+
+def test_close_is_clean_and_idempotent(checkpoint_dir, tiny_dataset):
+    sharded = ShardedEngine(
+        fresh_engine(checkpoint_dir, tiny_dataset), workers=2
+    )
+    assert len(shm_segments()) == 1
+    procs = list(sharded._procs)
+    sharded.close()
+    sharded.close()  # idempotent
+    assert shm_segments() == []
+    assert all(not p.is_alive() for p in procs)
+    with pytest.raises(RuntimeError, match="closed"):
+        sharded.recommend(user=0, k=5)
+
+
+def test_dead_worker_raises_instead_of_hanging(checkpoint_dir, tiny_dataset):
+    sharded = ShardedEngine(
+        fresh_engine(checkpoint_dir, tiny_dataset), workers=2,
+        worker_timeout_s=10.0,
+    )
+    try:
+        sharded._procs[0].terminate()
+        sharded._procs[0].join(5.0)
+        with pytest.raises(RuntimeError, match="died|exited"):
+            # Hit every shard so shard 0 is definitely touched.
+            sharded.recommend_batch(
+                [RecRequest(user=u, k=5) for u in range(12)]
+            )
+    finally:
+        sharded.close()
+    assert shm_segments() == []
+
+
+def test_rejects_invalid_worker_count(checkpoint_dir, tiny_dataset):
+    with pytest.raises(ValueError, match="workers"):
+        ShardedEngine(fresh_engine(checkpoint_dir, tiny_dataset), workers=0)
