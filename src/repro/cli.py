@@ -449,6 +449,170 @@ def _run_chaos(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _run_online(args: argparse.Namespace) -> int:
+    """The ``online`` subcommand: the streaming train/serve loop.
+
+    Consumes a synthetic traffic trace round by round: fine-tunes the
+    encoder incrementally on the replay buffer, shadow-evaluates the
+    candidate against the currently serving weights on held-out stream
+    traffic, and hot-swaps it into the engine only when the promotion
+    gate passes (docs/ONLINE_LEARNING.md).  With ``--port`` a live
+    HTTP server answers requests throughout, and promotions go through
+    its serialized reload path.  Deterministic at fixed seeds: same
+    ``--loop-seed``/``--trace-seed`` ⇒ same decisions and shadow
+    metrics.  Exit status 1 means a promotion failed its swap
+    self-check (infrastructure trouble, not a gate refusal).
+    """
+    import json
+    import threading
+
+    from repro.data.synthetic import synthesize_trace
+    from repro.models.registry import build_model
+    from repro.obs import RunObserver
+    from repro.online import (
+        FineTuneConfig,
+        GateConfig,
+        ModelVersionStore,
+        OnlineLoop,
+        OnlineLoopConfig,
+    )
+    from repro.online.shadow import REASON_SWAP_FAILED
+    from repro.serve import ServeConfig
+
+    config = ServeConfig.from_args(args)
+    if config.workers:
+        print(
+            "online: the loop needs direct model access; ignoring "
+            f"--workers {config.workers} (serving still answers live "
+            "traffic on --port)",
+            file=sys.stderr,
+        )
+        config.workers = 0
+    engine = config.build_engine()
+    dataset = engine.dataset
+    trainer = build_model(config.model, dataset, config.scale())
+
+    rounds = args.rounds
+    trace_events = (
+        args.trace_events
+        if args.trace_events is not None
+        else rounds * args.events_per_round
+    )
+    trace = synthesize_trace(
+        num_events=trace_events,
+        user_pool=dataset.num_users,
+        num_items=dataset.num_items,
+        hot_users=min(args.hot_users, dataset.num_users),
+        batch_fraction=args.batch_fraction,
+        k=args.shadow_k,
+        seed=args.trace_seed,
+    )
+
+    round_checkpoint_dir = None
+    if not args.no_round_checkpoints:
+        round_checkpoint_dir = args.round_checkpoint_dir or os.path.join(
+            args.store_dir, "rounds"
+        )
+    loop_config = OnlineLoopConfig(
+        rounds=rounds,
+        events_per_round=args.events_per_round,
+        buffer_capacity=args.buffer_capacity,
+        holdout_capacity=args.holdout_capacity,
+        holdout_every=args.holdout_every,
+        min_sequence_length=args.min_sequence_length,
+        shadow_k=args.shadow_k,
+        shadow_requests=args.shadow_requests,
+        seed=args.loop_seed,
+        gate=GateConfig(
+            metrics=tuple(args.gate_metric or ("HR@10", "NDCG@10")),
+            epsilon=args.gate_epsilon,
+            min_shadow_users=args.min_shadow_users,
+            min_new_sequences=args.min_new_sequences,
+        ),
+        finetune=FineTuneConfig(
+            epochs_per_round=args.epochs_per_round,
+            batch_size=args.train_batch_size,
+            learning_rate=args.learning_rate,
+            max_length=config.scale().max_length,
+            cl_weight=args.cl_weight,
+            pipeline=args.pipeline,
+            checkpoint_dir=round_checkpoint_dir,
+        ),
+    )
+
+    obs = None
+    if args.obs_dir:
+        obs = RunObserver.to_directory(
+            args.obs_dir,
+            meta={
+                "command": "online",
+                "rounds": rounds,
+                "loop_seed": args.loop_seed,
+                "trace_seed": args.trace_seed,
+            },
+        )
+
+    server = None
+    if args.port is not None:
+        from repro.serve import RecommendationServer
+
+        server = RecommendationServer(
+            engine,
+            host=args.host,
+            port=args.port,
+            max_inflight=args.max_inflight,
+        )
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        host, port = server.address
+        print(f"online: serving live traffic on http://{host}:{port}",
+              file=sys.stderr)
+
+    store = ModelVersionStore(args.store_dir, keep=args.store_keep)
+    loop = OnlineLoop(
+        engine, trainer, trace, store, loop_config, obs=obs, server=server
+    )
+    try:
+        result = loop.run()
+    finally:
+        if server is not None:
+            server.shutdown()
+        engine.close()
+        if obs is not None:
+            obs.close()
+
+    for record in result.rounds:
+        deltas = (record.shadow or {}).get("deltas") or {}
+        delta_text = " ".join(
+            f"Δ{name}={deltas[name]:+.4f}"
+            for name in loop_config.gate.metrics
+            if name in deltas
+        )
+        print(
+            f"online: round {record.round} → {record.decision.upper()} "
+            f"({record.reason}) model_version={record.model_version} "
+            f"buffer={record.buffer_depth} shadow_users={record.shadow_users}"
+            + (f" {delta_text}" if delta_text else ""),
+            file=sys.stderr,
+        )
+    print(
+        f"online: {result.promotions} promoted, {result.refusals} refused "
+        f"over {len(result.rounds)} rounds; serving model_version="
+        f"{result.final_model_version}; versions in {store.directory}",
+        file=sys.stderr,
+    )
+    text = json.dumps(result.to_dict(), indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"report written to {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    failed_swaps = any(
+        record.reason == REASON_SWAP_FAILED for record in result.rounds
+    )
+    return 1 if failed_swaps else 0
+
+
 def _run_recommend(args: argparse.Namespace) -> int:
     """The ``recommend`` subcommand: one request, JSON to stdout."""
     import json
@@ -737,6 +901,150 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_lt.add_argument("--output", help="write the JSON report here")
 
+    p_on = sub.add_parser(
+        "online",
+        help="online learning loop: stream ingestion → incremental "
+        "fine-tuning → shadow-gated live swap (docs/ONLINE_LEARNING.md)",
+    )
+    _add_serving_arguments(p_on)
+    p_on.add_argument(
+        "--rounds", type=int, default=1,
+        help="ingest→train→gate→swap rounds to run (default: 1)",
+    )
+    p_on.add_argument(
+        "--events-per-round", dest="events_per_round", type=int, default=200,
+        help="traffic events consumed per round (default: 200)",
+    )
+    p_on.add_argument(
+        "--trace-events", dest="trace_events", type=int, default=None,
+        help="total trace length (default: rounds × events-per-round; "
+        "shorter traces exhaust mid-loop and later rounds refuse with "
+        "insufficient_data)",
+    )
+    p_on.add_argument(
+        "--trace-seed", dest="trace_seed", type=int, default=0,
+        help="traffic-trace seed (same seed ⇒ byte-identical stream)",
+    )
+    p_on.add_argument(
+        "--loop-seed", dest="loop_seed", type=int, default=0,
+        help="root seed of the per-round RNG spawn streams (default: 0)",
+    )
+    p_on.add_argument(
+        "--hot-users", dest="hot_users", type=int, default=200,
+        help="Zipf head of returning users in the trace (default: 200)",
+    )
+    p_on.add_argument(
+        "--batch-fraction", dest="batch_fraction", type=float, default=0.3,
+        help="probability a trace event is a batch call (default: 0.3)",
+    )
+    p_on.add_argument(
+        "--store-dir", dest="store_dir", default="online-versions",
+        help="ModelVersionStore directory: versioned checkpoints + the "
+        "promote/refuse manifest (default: online-versions)",
+    )
+    p_on.add_argument(
+        "--store-keep", dest="store_keep", type=int, default=8,
+        help="version archives kept on disk; the manifest keeps every "
+        "record (default: 8)",
+    )
+    p_on.add_argument(
+        "--round-checkpoint-dir", dest="round_checkpoint_dir", default=None,
+        help="TrainingRuntime checkpoints for mid-round crash recovery "
+        "(default: <store-dir>/rounds)",
+    )
+    p_on.add_argument(
+        "--no-round-checkpoints", dest="no_round_checkpoints",
+        action="store_true",
+        help="skip mid-round TrainingRuntime checkpoints",
+    )
+    p_on.add_argument(
+        "--buffer-capacity", dest="buffer_capacity", type=int, default=2048,
+        help="replay-buffer bound: most recent training sequences kept "
+        "(default: 2048)",
+    )
+    p_on.add_argument(
+        "--holdout-capacity", dest="holdout_capacity", type=int, default=512,
+        help="shadow-holdout buffer bound (default: 512)",
+    )
+    p_on.add_argument(
+        "--holdout-every", dest="holdout_every", type=int, default=4,
+        help="every N-th ingested sequence feeds the shadow holdout "
+        "instead of training (default: 4)",
+    )
+    p_on.add_argument(
+        "--min-sequence-length", dest="min_sequence_length", type=int,
+        default=3,
+        help="drop streamed sequences shorter than this (default: 3)",
+    )
+    p_on.add_argument(
+        "--epochs-per-round", dest="epochs_per_round", type=int, default=1,
+        help="fine-tuning epochs over the replay buffer per round "
+        "(default: 1)",
+    )
+    p_on.add_argument(
+        "--train-batch-size", dest="train_batch_size", type=int, default=64,
+        help="fine-tuning batch size (default: 64)",
+    )
+    p_on.add_argument(
+        "--learning-rate", dest="learning_rate", type=float, default=5e-4,
+        help="fine-tuning learning rate (default: 5e-4 — gentler than "
+        "offline training, see docs/ONLINE_LEARNING.md)",
+    )
+    p_on.add_argument(
+        "--cl-weight", dest="cl_weight", type=float, default=0.1,
+        help="contrastive-loss weight λ during fine-tuning (default: 0.1)",
+    )
+    p_on.add_argument(
+        "--pipeline", choices=["reference", "vectorized"],
+        default="reference",
+        help="batch-construction path for fine-tuning (docs/PERFORMANCE.md)",
+    )
+    p_on.add_argument(
+        "--gate-metric", dest="gate_metric", action="append", default=None,
+        help="metric the promotion gate checks (repeatable; default: "
+        "HR@10 and NDCG@10)",
+    )
+    p_on.add_argument(
+        "--gate-epsilon", dest="gate_epsilon", type=float, default=0.0,
+        help="tolerated per-metric regression: promote iff candidate >= "
+        "baseline - epsilon on every gated metric (default: 0.0)",
+    )
+    p_on.add_argument(
+        "--min-shadow-users", dest="min_shadow_users", type=int, default=8,
+        help="held-out users required before shadow deltas count "
+        "(default: 8)",
+    )
+    p_on.add_argument(
+        "--min-new-sequences", dest="min_new_sequences", type=int, default=4,
+        help="fresh training sequences a round must ingest, else it "
+        "refuses with insufficient_data (default: 4)",
+    )
+    p_on.add_argument(
+        "--shadow-requests", dest="shadow_requests", type=int, default=64,
+        help="held-out sessions replayed through old-vs-new engines "
+        "(default: 64)",
+    )
+    p_on.add_argument(
+        "--shadow-k", dest="shadow_k", type=int, default=10,
+        help="top-k width of the shadow replay leg (default: 10)",
+    )
+    p_on.add_argument(
+        "--port", type=int, default=None,
+        help="also serve live HTTP traffic during the loop; promotions "
+        "then swap through the server's serialized reload path",
+    )
+    p_on.add_argument("--host", default="127.0.0.1")
+    p_on.add_argument(
+        "--max-inflight", dest="max_inflight", type=int, default=64,
+        help="admission bound of the live server (with --port)",
+    )
+    p_on.add_argument(
+        "--obs-dir", dest="obs_dir", default=None,
+        help="write structured obs.jsonl events (online_round, "
+        "shadow_eval, online_promote/online_refuse) here",
+    )
+    p_on.add_argument("--output", help="write the JSON loop report here")
+
     p_ch = sub.add_parser(
         "chaos",
         help="serving chaos scenario: faults, shedding, hot reload, recovery",
@@ -997,6 +1305,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_serve(args)
     if args.command == "loadtest":
         return _run_loadtest(args)
+    if args.command == "online":
+        return _run_online(args)
     if args.command == "recommend":
         return _run_recommend(args)
     if args.command == "chaos":

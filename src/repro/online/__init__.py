@@ -1,0 +1,50 @@
+"""Online learning: streaming ingestion → incremental fine-tuning →
+shadow-evaluated live swap.
+
+See docs/ONLINE_LEARNING.md for the architecture and the promotion-gate
+semantics; ``repro online`` is the CLI entry point.
+"""
+
+from repro.online.buffer import ReplayBuffer
+from repro.online.finetune import (
+    FineTuneConfig,
+    FineTuneRoundResult,
+    IncrementalFineTuner,
+)
+from repro.online.loop import (
+    OnlineLoop,
+    OnlineLoopConfig,
+    OnlineLoopResult,
+    RoundRecord,
+)
+from repro.online.shadow import (
+    GateConfig,
+    GateDecision,
+    PromotionGate,
+    REFUSAL_REASONS,
+    ShadowReport,
+    shadow_evaluate,
+)
+from repro.online.stream import StreamBatch, StreamIngestor
+from repro.online.versions import ModelVersionStore, VersionRecord
+
+__all__ = [
+    "FineTuneConfig",
+    "FineTuneRoundResult",
+    "GateConfig",
+    "GateDecision",
+    "IncrementalFineTuner",
+    "ModelVersionStore",
+    "OnlineLoop",
+    "OnlineLoopConfig",
+    "OnlineLoopResult",
+    "PromotionGate",
+    "REFUSAL_REASONS",
+    "ReplayBuffer",
+    "RoundRecord",
+    "ShadowReport",
+    "StreamBatch",
+    "StreamIngestor",
+    "VersionRecord",
+    "shadow_evaluate",
+]

@@ -827,8 +827,15 @@ class RecommendationEngine:
         live = [i for i in range(n) if errors[i] is None]
         hit_idx: list[int] = []
         groups: dict[bytes, list[int]] = {}
+        # Rows resolved during *this* call, keyed by sequence.  Row
+        # assembly reads from here, not from the LRU cache: with a
+        # cache smaller than the batch's distinct-sequence count, a
+        # later put can evict a row resolved earlier in the same call.
+        local_rows: dict[bytes, np.ndarray] = {}
         for i in live:
-            if keys[i] in self.cache:
+            row = self.cache.get(keys[i])
+            if row is not None:
+                local_rows[keys[i]] = row
                 cached_flags[i] = True
                 hit_idx.append(i)
                 self.metrics.record_cache(True)
@@ -890,6 +897,7 @@ class RecommendationEngine:
                         self.policy.record_encode(True, latency)
                     for offset, row in enumerate(encoded):
                         self.cache.put(chunk_keys[offset], row)
+                        local_rows[chunk_keys[offset]] = row
                     encoded_count += len(chunk)
             self.metrics.increment("sequences_encoded", encoded_count)
         for key in failed_keys:
@@ -912,12 +920,9 @@ class RecommendationEngine:
         # and copied only by downstream matrix construction.
         rows: list = [None] * n
         scored_idx = [i for i in live if tiers[i] != "popularity"]
-        if self.index is not None:
-            for i in scored_idx:
-                rows[i] = self.cache.get(keys[i])
-        else:
-            for i in scored_idx:
-                rows[i] = self.cache.get(keys[i])
+        for i in scored_idx:
+            rows[i] = local_rows.get(keys[i])
+        if self.index is None:
             self.metrics.increment(
                 "items_scored", sum(len(rows[i]) for i in scored_idx)
             )

@@ -1,0 +1,64 @@
+"""ReplayBuffer: FIFO eviction, determinism, dataset materialization."""
+
+import numpy as np
+import pytest
+
+from repro.online import ReplayBuffer
+
+from .conftest import random_sequences
+
+
+def test_capacity_evicts_oldest():
+    buffer = ReplayBuffer(capacity=3)
+    for i in range(5):
+        buffer.add(np.asarray([i, i + 1, i + 2]))
+    assert buffer.depth == 3
+    assert buffer.total_ingested == 5
+    assert buffer.evicted == 2
+    firsts = [int(seq[0]) for seq in buffer.sequences()]
+    assert firsts == [2, 3, 4]  # oldest two gone, order preserved
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(ValueError):
+        ReplayBuffer(capacity=0)
+
+
+def test_extend_counts():
+    buffer = ReplayBuffer(capacity=10)
+    added = buffer.extend(random_sequences(4, 50))
+    assert added == 4
+    assert buffer.depth == 4
+
+
+def test_as_dataset_unsplit_trains_on_everything(tiny_dataset):
+    buffer = ReplayBuffer(capacity=16)
+    sequences = random_sequences(5, tiny_dataset.num_items)
+    buffer.extend(sequences)
+    ds = buffer.as_dataset(tiny_dataset, split=False)
+    assert ds.num_items == tiny_dataset.num_items
+    assert ds.num_users == 5
+    assert all(t is None for t in ds.test_targets)
+    for kept, original in zip(ds.train_sequences, sequences):
+        np.testing.assert_array_equal(kept, original)
+
+
+def test_as_dataset_split_holds_out_targets(tiny_dataset):
+    buffer = ReplayBuffer(capacity=16)
+    buffer.add(np.asarray([5, 6, 7, 8, 9]))
+    buffer.add(np.asarray([1, 2]))  # too short to split
+    ds = buffer.as_dataset(tiny_dataset, split=True)
+    assert ds.test_targets[0] == 9
+    assert ds.valid_targets[0] == 8
+    np.testing.assert_array_equal(ds.train_sequences[0], [5, 6, 7])
+    assert ds.test_targets[1] is None
+    assert list(ds.evaluation_users("test")) == [0]
+
+
+def test_deterministic_across_instances(tiny_dataset):
+    sequences = random_sequences(20, tiny_dataset.num_items)
+    a, b = ReplayBuffer(8), ReplayBuffer(8)
+    a.extend(sequences)
+    b.extend(sequences)
+    for x, y in zip(a.sequences(), b.sequences()):
+        np.testing.assert_array_equal(x, y)

@@ -1,0 +1,93 @@
+"""StreamIngestor: payload decoding, holdout split, exhaustion."""
+
+import numpy as np
+
+from repro.online import StreamIngestor
+
+
+def _event(index, *payloads):
+    return {
+        "index": index,
+        "arrival_s": float(index),
+        "kind": "batch" if len(payloads) > 1 else "single",
+        "requests": list(payloads),
+    }
+
+
+def test_cold_sequences_pass_through(tiny_dataset):
+    events = [_event(0, {"sequence": [1, 2, 3, 4], "k": 10})]
+    ingestor = StreamIngestor(iter(events), dataset=tiny_dataset)
+    batch = ingestor.take(10)
+    assert batch.events == 1
+    assert batch.sequences == 1
+    np.testing.assert_array_equal(
+        (batch.train + batch.holdout)[0], [1, 2, 3, 4]
+    )
+
+
+def test_invalid_item_ids_filtered(tiny_dataset):
+    bad = tiny_dataset.num_items + 50
+    events = [_event(0, {"sequence": [1, bad, 2, 0, 3, -4], "k": 10})]
+    batch = StreamIngestor(iter(events), dataset=tiny_dataset).take(10)
+    np.testing.assert_array_equal((batch.train + batch.holdout)[0], [1, 2, 3])
+
+
+def test_short_sequences_skipped(tiny_dataset):
+    events = [_event(0, {"sequence": [1, 2], "k": 10})]
+    batch = StreamIngestor(
+        iter(events), dataset=tiny_dataset, min_length=3
+    ).take(10)
+    assert batch.sequences == 0
+    assert batch.skipped == 1
+
+
+def test_hot_users_resolve_to_history(tiny_dataset):
+    events = [_event(0, {"user": 0, "k": 10})]
+    batch = StreamIngestor(iter(events), dataset=tiny_dataset).take(10)
+    assert batch.sequences == 1
+    np.testing.assert_array_equal(
+        (batch.train + batch.holdout)[0],
+        tiny_dataset.full_sequence(0, split="test"),
+    )
+
+
+def test_unknown_user_skipped(tiny_dataset):
+    events = [_event(0, {"user": tiny_dataset.num_users + 7, "k": 10})]
+    batch = StreamIngestor(iter(events), dataset=tiny_dataset).take(10)
+    assert batch.sequences == 0
+    assert batch.skipped == 1
+
+
+def test_holdout_round_robin(tiny_dataset):
+    events = [
+        _event(i, {"sequence": [1, 2, 3, 4], "k": 10}) for i in range(12)
+    ]
+    ingestor = StreamIngestor(
+        iter(events), dataset=tiny_dataset, holdout_every=4
+    )
+    batch = ingestor.take(12)
+    assert len(batch.holdout) == 3  # sequences 4, 8, 12
+    assert len(batch.train) == 9
+
+
+def test_take_persists_across_rounds_and_flags_exhaustion(tiny_dataset):
+    events = [
+        _event(i, {"sequence": [1, 2, 3], "k": 10}) for i in range(5)
+    ]
+    ingestor = StreamIngestor(iter(events), dataset=tiny_dataset)
+    first = ingestor.take(3)
+    assert first.events == 3 and not first.exhausted
+    second = ingestor.take(3)
+    assert second.events == 2 and second.exhausted
+    assert ingestor.exhausted
+    third = ingestor.take(3)
+    assert third.events == 0 and third.exhausted
+
+
+def test_trace_consumption_deterministic(tiny_dataset, tiny_trace):
+    def consume():
+        ingestor = StreamIngestor(tiny_trace, dataset=tiny_dataset)
+        batch = ingestor.take(50)
+        return [seq.tobytes() for seq in batch.train + batch.holdout]
+
+    assert consume() == consume()

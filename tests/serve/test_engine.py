@@ -114,6 +114,24 @@ class TestCaching:
         assert sequence_key(np.array([1, 2])) == sequence_key([1, 2])
         assert sequence_key([1, 2]) != sequence_key([2, 1])
 
+    def test_batch_larger_than_cache_still_serves(self, sasrec, tiny_dataset):
+        """Same-batch cache churn must not lose encoded rows: with
+        cache_size=1, every put evicts the previous key, so batch
+        assembly has to read from the rows computed this call rather
+        than from the (already-evicted) cache."""
+        tiny = RecommendationEngine(
+            sasrec, tiny_dataset, max_batch_size=4, cache_size=1
+        )
+        big = RecommendationEngine(
+            sasrec, tiny_dataset, max_batch_size=4, cache_size=64
+        )
+        requests = [RecRequest(user=u) for u in range(6)]
+        small_results = tiny.recommend_batch(requests)
+        big_results = big.recommend_batch(requests)
+        for small, large in zip(small_results, big_results):
+            assert small.error is None
+            np.testing.assert_array_equal(small.items, large.items)
+
 
 class TestQueue:
     def test_flush_preserves_submission_order(self, engine, sasrec, tiny_dataset):
