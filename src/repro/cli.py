@@ -536,6 +536,7 @@ def _run_online(args: argparse.Namespace) -> int:
             max_length=config.scale().max_length,
             cl_weight=args.cl_weight,
             pipeline=args.pipeline,
+            workers=args.train_workers,
             checkpoint_dir=round_checkpoint_dir,
         ),
     )
@@ -764,6 +765,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="compute precision: float64 (default, bit-compatible with the "
         "golden fixtures) or float32 (roughly 2x BLAS throughput; see "
         "docs/PERFORMANCE.md)",
+    )
+    p_tr.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="data-parallel training workers: 0 (default) keeps the "
+        "single-process loops byte-compatible with the golden fixtures; "
+        "N >= 1 trains through repro.train.parallel — bit-reproducible "
+        "at a fixed worker count (see docs/SCALING.md 'Training at scale')",
     )
     _add_scale_arguments(p_tr)
 
@@ -1000,6 +1010,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="batch-construction path for fine-tuning (docs/PERFORMANCE.md)",
     )
     p_on.add_argument(
+        "--train-workers", dest="train_workers", type=int, default=0,
+        help="data-parallel workers for each fine-tuning round (0 = "
+        "single-process; --workers already names the serving pool — "
+        "see docs/SCALING.md 'Training at scale')",
+    )
+    p_on.add_argument(
         "--gate-metric", dest="gate_metric", action="append", default=None,
         help="metric the promotion gate checks (repeatable; default: "
         "HR@10 and NDCG@10)",
@@ -1136,6 +1152,10 @@ def _run_train(args: argparse.Namespace) -> int:
     model.cl_config.joint.dtype = args.dtype
     model.cl_config.pretrain.dtype = args.dtype
     model.cl_config.sasrec.train.dtype = args.dtype
+    # And the data-parallel worker count (0 = single-process loops).
+    model.cl_config.joint.workers = args.workers
+    model.cl_config.pretrain.workers = args.workers
+    model.cl_config.sasrec.train.workers = args.workers
     faults = None
     if args.preempt_at is not None:
         faults = FaultInjector().preempt(at=args.preempt_at)
@@ -1152,6 +1172,7 @@ def _run_train(args: argparse.Namespace) -> int:
                 "mode": args.mode,
                 "pipeline": args.pipeline,
                 "dtype": args.dtype or "float64",
+                "workers": args.workers,
                 "preset": args.preset,
                 "seed": scale.seed,
             },

@@ -49,6 +49,11 @@ class ContrastivePretrainConfig:
     # Compute precision: None keeps the process default (float64);
     # "float32" for throughput — see docs/PERFORMANCE.md.
     dtype: str | None = None
+    # Data-parallel worker processes: 0 keeps the single-process loop
+    # (bit-compatible with the golden fixtures); N >= 1 trains through
+    # repro.train.parallel — deterministic at fixed N, but a different
+    # sample than workers=0 (see docs/SCALING.md "Training at scale").
+    workers: int = 0
     seed: int = 0
 
 
@@ -68,6 +73,8 @@ class JointTrainConfig:
     pipeline: str = "reference"
     # Compute precision; see ContrastivePretrainConfig.dtype.
     dtype: str | None = None
+    # Data-parallel workers; see ContrastivePretrainConfig.workers.
+    workers: int = 0
     seed: int = 0
 
 
@@ -153,6 +160,12 @@ def pretrain_contrastive(
     event per epoch — NT-Xent loss, in-batch retrieval accuracy, mean
     grad norm, sequences/sec and epoch wall time.
     """
+    if getattr(config, "workers", 0):
+        from repro.train.parallel import pretrain_contrastive_parallel
+
+        return pretrain_contrastive_parallel(
+            model, dataset, config, rng=rng, runtime=runtime, obs=obs
+        )
     rng = rng if rng is not None else np.random.default_rng(config.seed)
     loader = ContrastiveBatchLoader(
         dataset,
@@ -263,6 +276,12 @@ def train_joint(
     ablation questions (how much does InfoNCE contribute?) are
     answerable from logs.
     """
+    if getattr(config, "workers", 0):
+        from repro.train.parallel import train_joint_parallel
+
+        return train_joint_parallel(
+            model, dataset, config, rng=rng, runtime=runtime, obs=obs
+        )
     rng = rng if rng is not None else np.random.default_rng(config.seed)
     next_loader = NextItemBatchLoader(
         dataset,

@@ -34,6 +34,29 @@ from repro.data.pipeline import padded_views, validate_pipeline
 from repro.data.preprocessing import SequenceDataset
 
 
+def _shard_users(
+    users: np.ndarray, worker_shard: tuple[int, int] | None
+) -> np.ndarray:
+    """Deterministic round-robin split of the eligible-user list.
+
+    ``worker_shard=(w, n)`` keeps every n-th user starting at *w* —
+    the partition data-parallel training workers draw their private
+    micro-batches from.  An empty shard is allowed (more workers than
+    eligible users): the worker simply contributes no batches.  The
+    global no-eligible-users check runs *before* sharding, so the
+    loader's existing error behaviour is unchanged.
+    """
+    if worker_shard is None:
+        return users
+    worker, count = worker_shard
+    if not 0 <= worker < count:
+        raise ValueError(
+            f"worker_shard must be (worker, count) with 0 <= worker < "
+            f"count, got {worker_shard!r}"
+        )
+    return users[worker::count]
+
+
 def pad_left(sequence: np.ndarray, length: int, pad_value: int = 0) -> np.ndarray:
     """Left-pad (or left-truncate) ``sequence`` to exactly ``length``.
 
@@ -176,6 +199,7 @@ class NextItemBatchLoader:
         negative_sampler: NegativeSampler | None = None,
         pipeline: str = "reference",
         obs=None,
+        worker_shard: tuple[int, int] | None = None,
     ) -> None:
         self.dataset = dataset
         self.max_length = max_length
@@ -206,6 +230,7 @@ class NextItemBatchLoader:
         )
         if len(self._users) == 0:
             raise ValueError("no user has a long enough training sequence")
+        self._users = _shard_users(self._users, worker_shard)
 
     @property
     def num_batches(self) -> int:
@@ -273,6 +298,7 @@ class ContrastiveBatchLoader:
         min_sequence_length: int = 3,
         pipeline: str = "reference",
         obs=None,
+        worker_shard: tuple[int, int] | None = None,
     ) -> None:
         self.dataset = dataset
         self.augmenter = augmenter
@@ -301,6 +327,7 @@ class ContrastiveBatchLoader:
         )
         if len(self._users) == 0:
             raise ValueError("no user has a long enough training sequence")
+        self._users = _shard_users(self._users, worker_shard)
 
     @property
     def num_batches(self) -> int:

@@ -36,6 +36,7 @@ SECTION_ORDER = (
     "resilience",
     "retrieval",
     "serving_scale",
+    "train_parallel",
 )
 
 

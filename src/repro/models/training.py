@@ -60,6 +60,11 @@ class TrainConfig:
     # throughput at ~1e-3 relative loss accuracy — see
     # docs/PERFORMANCE.md ("Compute core") for when it is safe.
     dtype: str | None = None
+    # Data-parallel worker processes: 0 keeps this single-process loop
+    # (bit-compatible with the golden fixtures); N >= 1 trains through
+    # repro.train.parallel — deterministic at fixed N, but a different
+    # sample than workers=0 (see docs/SCALING.md "Training at scale").
+    workers: int = 0
     seed: int = 0
 
 
@@ -98,6 +103,12 @@ def train_next_item_model(
     per epoch (loss, mean grad norm, sequences/sec, wall time) plus an
     ``eval`` event for every mid-training validation pass.
     """
+    if getattr(config, "workers", 0):
+        from repro.train.parallel import train_next_item_parallel
+
+        return train_next_item_parallel(
+            model, dataset, config, rng=rng, runtime=runtime, obs=obs
+        )
     rng = rng if rng is not None else np.random.default_rng(config.seed)
     sampler = None
     if config.negative_alpha > 0:

@@ -130,6 +130,43 @@ def _snapshot_lines(events: list[dict]) -> list[str]:
     return lines
 
 
+def _parallel_table(events: list[dict]) -> str | None:
+    """Per-worker totals from the ``parallel_worker`` epoch events."""
+    rows_src = [e for e in events if e.get("event") == "parallel_worker"]
+    if not rows_src:
+        return None
+    workers: dict[int, dict[str, float]] = {}
+    for event in rows_src:
+        stats = workers.setdefault(
+            int(event.get("worker", 0)),
+            {"epochs": 0, "steps": 0, "sequences": 0, "compute_seconds": 0.0},
+        )
+        stats["epochs"] += 1
+        stats["steps"] += int(event.get("steps", 0))
+        stats["sequences"] += int(event.get("sequences", 0))
+        stats["compute_seconds"] += float(event.get("compute_seconds", 0.0))
+    headers = ["worker", "epochs", "steps", "sequences", "compute_s", "items/s"]
+    rows = []
+    for worker in sorted(workers):
+        stats = workers[worker]
+        rate = (
+            stats["sequences"] / stats["compute_seconds"]
+            if stats["compute_seconds"] > 0
+            else None
+        )
+        rows.append([
+            str(worker),
+            str(int(stats["epochs"])),
+            str(int(stats["steps"])),
+            str(int(stats["sequences"])),
+            _fmt(stats["compute_seconds"], 3),
+            _fmt(rate, 1),
+        ])
+    return (
+        f"[parallel] {len(workers)} worker(s)\n" + format_table(headers, rows)
+    )
+
+
 def summarize_events(events: list[dict]) -> str:
     """Render the full plain-text report for a parsed event list."""
     sections: list[str] = []
@@ -145,6 +182,10 @@ def summarize_events(events: list[dict]) -> str:
         table = _epoch_table(events, name)
         if table:
             sections.append(table)
+
+    parallel_table = _parallel_table(events)
+    if parallel_table:
+        sections.append(parallel_table)
 
     eval_table = _eval_table(events)
     if eval_table:

@@ -50,6 +50,10 @@ class FineTuneConfig:
     #: None adopts the model's current parameter dtype, so a float32
     #: checkpoint keeps fine-tuning in float32.
     dtype: str | None = None
+    #: Data-parallel training workers per round (0 = single-process);
+    #: threaded straight into the round's Joint/TrainConfig, so online
+    #: rounds fine-tune through ``repro.train.parallel`` too.
+    workers: int = 0
     #: Round-scoped TrainingRuntime checkpoints land under
     #: ``<checkpoint_dir>/round-NNNN``; None disables mid-round
     #: crash-safety (the version store still persists every round's
@@ -140,6 +144,7 @@ class IncrementalFineTuner:
                         clip_norm=config.clip_norm,
                         pipeline=config.pipeline,
                         dtype=self._dtype_name(),
+                        workers=config.workers,
                     ),
                     rng=rng,
                     runtime=runtime,
@@ -160,6 +165,7 @@ class IncrementalFineTuner:
                         eval_every=0,
                         pipeline=config.pipeline,
                         dtype=self._dtype_name(),
+                        workers=config.workers,
                     ),
                     rng=rng,
                     runtime=runtime,

@@ -49,7 +49,13 @@ SITES = (
     "step",
     "encode",
     "encode_slow",
+    "worker_kill",
 )
+
+#: Exit status an injected ``worker_kill`` dies with — distinctive, so
+#: tests and the coordinator's error message can tell an injected death
+#: from a crash (1) or a signal (negative exitcode).
+WORKER_KILL_EXIT_CODE = 43
 
 
 class SimulatedPreemption(RuntimeError):
@@ -144,6 +150,19 @@ class FaultInjector:
         self.faults.append(Fault("step", at))
         return self
 
+    def kill_worker(self, at: int, worker: int = 0) -> "FaultInjector":
+        """Kill training worker ``worker`` at its ``at``-th parallel step.
+
+        The occurrence index counts *that worker's own* steps (fork
+        isolates each worker's injector copy, so the count is
+        per-process by construction); the process dies with
+        :data:`WORKER_KILL_EXIT_CODE` via ``os._exit`` — no cleanup, no
+        goodbye, exactly like an OOM kill.  The coordinator is expected
+        to raise :class:`repro.train.parallel.WorkerFailedError`.
+        """
+        self.faults.append(Fault("worker_kill", at, payload=float(worker)))
+        return self
+
     def fail_encode(self, at: int) -> "FaultInjector":
         """Schedule an injected exception on the ``at``-th encoder forward."""
         self.faults.append(Fault("encode", at))
@@ -203,6 +222,26 @@ class FaultInjector:
             raise SimulatedPreemption(
                 f"injected preemption after step {self._counts['step']}"
             )
+
+    def on_worker_step(self, worker: int) -> None:
+        """Die hard when this worker's scheduled kill fires.
+
+        Called by every training worker at each ``step`` command with
+        its own id; only a fault whose payload names this worker
+        triggers.  ``triggered`` records the hit, but only in the dying
+        worker's (forked) injector copy — the coordinator observes the
+        death through its :class:`WorkerFailedError` instead.
+        """
+        self._counts["worker_kill"] += 1
+        count = self._counts["worker_kill"]
+        for fault in self.faults:
+            if (
+                fault.site == "worker_kill"
+                and fault.at == count
+                and int(fault.payload or 0.0) == int(worker)
+            ):
+                self.triggered.append(("worker_kill", count))
+                os._exit(WORKER_KILL_EXIT_CODE)
 
     def on_encode(self) -> None:
         """Raise an injected ``RuntimeError`` when the encode fault fires."""

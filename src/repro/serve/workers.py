@@ -36,7 +36,6 @@ read-only ndarrays; a stray write raises instead of corrupting).
 
 from __future__ import annotations
 
-import itertools
 import multiprocessing
 import os
 import threading
@@ -46,6 +45,7 @@ from multiprocessing.shared_memory import SharedMemory
 
 import numpy as np
 
+from repro.core.shm import SharedArrays, adopt_parameters, allocate_segment
 from repro.retrieval import INDEX_KINDS
 from repro.retrieval.exact import ExactIndex
 from repro.serve.engine import EngineOverloaded, RecommendationEngine
@@ -73,59 +73,26 @@ MATRIX_KEY = "__item_matrix__"
 #: export; aggregates (count/total/max) stay exact regardless.
 METRICS_SAMPLE_CAP = 4096
 
-_segment_counter = itertools.count()
 
-
-class SharedModelState:
+class SharedModelState(SharedArrays):
     """One read-only shared-memory segment holding arrays by name.
 
-    The parent builds it with :meth:`create` (weights + item matrix,
-    64-byte aligned, written once); workers :meth:`attach` by name and
-    read through :attr:`views` — read-only ndarrays backed directly by
-    the segment, so attaching costs pages, not copies.
+    A :class:`repro.core.shm.SharedArrays` (the create/attach/cleanup
+    lifecycle lives there, shared with data-parallel training) plus the
+    serving-specific pieces: a model-version ``generation`` stamp, the
+    reserved item-matrix entry, and the weight/matrix split views.
     """
 
     def __init__(self, shm: SharedMemory, entries: dict, generation: int,
                  owner: bool) -> None:
-        self.shm = shm
-        self.entries = entries
+        super().__init__(shm, entries, owner=owner, writeable=False)
         self.generation = int(generation)
-        self.owner = owner
-        self.views: dict[str, np.ndarray] = {}
-        for name, (offset, shape, dtype) in entries.items():
-            view = np.ndarray(
-                tuple(shape), dtype=np.dtype(dtype), buffer=shm.buf,
-                offset=offset,
-            )
-            view.flags.writeable = False
-            self.views[name] = view
 
     @classmethod
     def create(cls, arrays: dict[str, np.ndarray],
                generation: int) -> "SharedModelState":
         """Publish ``arrays`` into a fresh segment (the caller owns it)."""
-        entries: dict[str, tuple] = {}
-        offset = 0
-        contiguous = {}
-        for name, array in arrays.items():
-            array = np.ascontiguousarray(array)
-            offset = (offset + 63) // 64 * 64  # 64-byte align every array
-            entries[name] = (offset, array.shape, array.dtype.str)
-            contiguous[name] = array
-            offset += array.nbytes
-        shm = SharedMemory(
-            name=f"repro-serve-{os.getpid()}-{next(_segment_counter)}-"
-                 f"{os.urandom(3).hex()}",
-            create=True,
-            size=max(offset, 1),
-        )
-        for name, array in contiguous.items():
-            start = entries[name][0]
-            staging = np.ndarray(
-                array.shape, dtype=array.dtype, buffer=shm.buf, offset=start
-            )
-            staging[...] = array
-            del staging  # release the writable view before exposing
+        shm, entries = allocate_segment(arrays, name_prefix="repro-serve")
         return cls(shm, entries, generation, owner=True)
 
     def meta(self) -> dict:
@@ -154,44 +121,10 @@ class SharedModelState:
             if name != MATRIX_KEY
         }
 
-    def close(self) -> None:
-        """Drop this process's mapping (the segment itself survives)."""
-        self.views = {}
-        try:
-            self.shm.close()
-        except BufferError:
-            # Some ndarray view (an old index, a cached row) still pins
-            # the buffer; the mapping is released when it dies and the
-            # fd at process exit — never an error worth crashing over.
-            pass
 
-    def unlink(self) -> None:
-        """Destroy the segment (parent/owner only, exactly once)."""
-        try:
-            self.shm.unlink()
-        except FileNotFoundError:
-            pass
-
-
-def _adopt_shared_weights(model, views: dict[str, np.ndarray]) -> None:
-    """Point every model parameter at its read-only shared view.
-
-    ``Module.load_state_dict`` copies; assigning ``param.data`` directly
-    is the zero-copy adoption point.  Shapes and dtypes must match the
-    model exactly — the segment was written from the same architecture's
-    ``state_dict``, so a mismatch means a wiring bug, not bad input.
-    """
-    for name, param in model.named_parameters():
-        view = views.get(name)
-        if view is None:
-            raise KeyError(f"shared segment is missing parameter {name!r}")
-        data = np.asarray(param.data)
-        if view.shape != data.shape or view.dtype != data.dtype:
-            raise ValueError(
-                f"shared parameter {name!r} is {view.shape} {view.dtype} "
-                f"but the model expects {data.shape} {data.dtype}"
-            )
-        param.data = view
+#: Zero-copy parameter adoption (moved to :mod:`repro.core.shm`; the
+#: name stays for the tests and chaos tooling that patch through it).
+_adopt_shared_weights = adopt_parameters
 
 
 def _build_worker_index(kind: str, params: dict, matrix: np.ndarray):

@@ -1,0 +1,27 @@
+"""Scale-out training execution modes.
+
+:mod:`repro.train.parallel` provides the deterministic data-parallel
+coordinator/worker machinery behind ``workers=N`` on the training
+configs (``TrainConfig`` / ``ContrastivePretrainConfig`` /
+``JointTrainConfig``) and ``repro train --workers N`` on the CLI.  The
+single-process loops themselves stay in :mod:`repro.core.trainer` and
+:mod:`repro.models.training`; with ``workers=0`` (the default) nothing
+in this package runs and those loops execute byte-identically to every
+previous release.
+"""
+
+from repro.train.parallel import (
+    WorkerFailedError,
+    pairwise_sum,
+    pretrain_contrastive_parallel,
+    train_joint_parallel,
+    train_next_item_parallel,
+)
+
+__all__ = [
+    "WorkerFailedError",
+    "pairwise_sum",
+    "pretrain_contrastive_parallel",
+    "train_joint_parallel",
+    "train_next_item_parallel",
+]
